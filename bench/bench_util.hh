@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction bench binaries.
+ *
+ * Every binary accepts:
+ *   --scale=<f>   workload scale factor (default 0.25 for speed;
+ *                 larger values approach the paper's footprints)
+ *   --seed=<n>    workload seed
+ *   --bench=<name> run a single benchmark instead of all six
+ */
+
+#ifndef BENCH_BENCH_UTIL_HH
+#define BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/presets.hh"
+
+namespace gpummu {
+namespace benchutil {
+
+struct Options
+{
+    WorkloadParams params;
+    std::vector<BenchmarkId> benchmarks;
+};
+
+inline Options
+parse(int argc, char **argv, double default_scale = 0.25)
+{
+    Options opt;
+    opt.params.scale = default_scale;
+    opt.params.seed = 42;
+    opt.benchmarks = allBenchmarks();
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&arg](const char *key) -> const char * {
+            const std::string k = std::string(key) + "=";
+            return arg.rfind(k, 0) == 0 ? arg.c_str() + k.size()
+                                        : nullptr;
+        };
+        if (const char *v = value("--scale")) {
+            opt.params.scale = std::atof(v);
+        } else if (const char *v = value("--seed")) {
+            opt.params.seed =
+                static_cast<std::uint64_t>(std::atoll(v));
+        } else if (const char *v = value("--bench")) {
+            opt.benchmarks.clear();
+            for (BenchmarkId id : allBenchmarks()) {
+                if (benchmarkName(id) == v)
+                    opt.benchmarks.push_back(id);
+            }
+            if (opt.benchmarks.empty()) {
+                std::cerr << "unknown benchmark: " << v << "\n";
+                std::exit(1);
+            }
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            std::exit(1);
+        }
+    }
+    return opt;
+}
+
+/** Geometric mean helper for "average speedup" rows. */
+inline double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+} // namespace benchutil
+} // namespace gpummu
+
+#endif // BENCH_BENCH_UTIL_HH

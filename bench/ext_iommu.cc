@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Extension experiment: the Section 2.2 IOMMU organisation made
+ * quantitative.
+ *
+ * The paper argues for L1-parallel per-core MMUs over today's
+ * controller-resident IOMMUs on programmability grounds and does not
+ * evaluate the IOMMU's performance. This bench fills that gap: a
+ * 1024-entry shared IOMMU TLB with translation on the L1-miss path,
+ * against the paper's naive and augmented per-core MMUs.
+ *
+ * Expected shape: the IOMMU benefits from its big TLB and from
+ * translating only L1 misses, but pays shared-port serialization and
+ * leaves GPU caches virtually addressed (the programmability costs
+ * the paper enumerates are not modelled - that is the point).
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+
+using namespace gpummu;
+
+int
+main(int argc, char **argv)
+{
+    auto opt = benchutil::parse(argc, argv, /*default_scale=*/0.15);
+    Experiment exp(opt.params);
+
+    const SystemConfig base = presets::noTlb();
+    const SystemConfig naive = presets::naiveTlb(4);
+    const SystemConfig aug = presets::augmentedTlb();
+    const SystemConfig io = presets::iommu();
+
+    std::cout << "=== Extension: IOMMU (Sec. 2.2) vs per-core MMUs "
+                 "===\nscale=" << opt.params.scale << "\n\n";
+
+    ReportTable table({"benchmark", "naive-percore", "augmented",
+                       "iommu", "iommu-vs-augmented"});
+    for (BenchmarkId id : opt.benchmarks) {
+        const double s_naive = exp.speedup(id, naive, base);
+        const double s_aug = exp.speedup(id, aug, base);
+        const double s_io = exp.speedup(id, io, base);
+        table.addRow({benchmarkName(id), ReportTable::num(s_naive),
+                      ReportTable::num(s_aug), ReportTable::num(s_io),
+                      ReportTable::num(s_io / s_aug)});
+    }
+    table.print(std::cout);
+    std::cout << "\nNote: the IOMMU keeps GPU caches virtually "
+                 "addressed; the paper's programmability arguments "
+                 "(synonyms, context switches, coherence) are why the "
+                 "per-core design wins even where raw performance "
+                 "is close.\n";
+    return 0;
+}

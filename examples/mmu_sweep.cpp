@@ -1,0 +1,62 @@
+/**
+ * @file
+ * MMU feature sweep: walks the paper's design-point ladder for one
+ * benchmark, from the no-TLB baseline through every augmentation
+ * step (ports, hit-under-miss, cache overlap, PTW scheduling,
+ * multiple walkers, ideal). Useful for seeing where each feature's
+ * win comes from.
+ *
+ * Usage: mmu_sweep [benchmark] [scale]
+ */
+
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "core/presets.hh"
+
+using namespace gpummu;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "bfs";
+    WorkloadParams params;
+    params.scale = argc > 2 ? std::atof(argv[2]) : 0.25;
+    params.seed = 42;
+
+    BenchmarkId bench = BenchmarkId::Bfs;
+    for (BenchmarkId id : allBenchmarks()) {
+        if (benchmarkName(id) == name)
+            bench = id;
+    }
+
+    Experiment exp(params);
+    const SystemConfig base = presets::noTlb();
+
+    std::vector<SystemConfig> ladder = {
+        presets::naiveTlb(3),
+        presets::naiveTlb(4),
+        presets::tlbHitUnderMiss(),
+        presets::tlbCacheOverlap(),
+        presets::augmentedTlb(),
+        presets::naiveTlbMultiPtw(8),
+        presets::idealTlb(),
+    };
+
+    ReportTable table({"config", "cycles", "tlb-miss%", "walk-lat",
+                       "refs-elim", "speedup"});
+    const RunStats b = exp.run(bench, base);
+    table.addRow({base.name, std::to_string(b.cycles), "-", "-", "-",
+                  "1.000"});
+    for (const auto &cfg : ladder) {
+        const RunStats s = exp.run(bench, cfg);
+        table.addRow(
+            {cfg.name, std::to_string(s.cycles),
+             ReportTable::pct(s.tlbMissRate()),
+             ReportTable::num(s.avgTlbMissLatency, 0),
+             std::to_string(s.walkRefsEliminated),
+             ReportTable::num(exp.speedup(bench, cfg, base), 3)});
+    }
+    table.print(std::cout);
+    return 0;
+}

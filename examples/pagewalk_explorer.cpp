@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Page-walk explorer: reproduces the paper's Figure 8 walkthrough on
+ * a live page table and shows what the PTW scheduler's comparator
+ * tree does with concurrent walks.
+ *
+ * Builds the exact example from the paper - three warp threads
+ * missing on virtual pages (0xb9,0x0c,0xac,0x03),
+ * (0xb9,0x0c,0xac,0x04) and (0xb9,0x0c,0xad,0x05) - and prints the
+ * reference streams of a conventional serial walker (12 loads) and
+ * the scheduling walker (7 loads), with completion times from the
+ * simulated memory system.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "mem/request.hh"
+#include "mmu/ptw.hh"
+#include "sim/event_queue.hh"
+#include "vm/page_table.hh"
+#include "vm/physical_memory.hh"
+
+using namespace gpummu;
+
+namespace {
+
+Vpn
+vpnOf(unsigned pml4, unsigned pdp, unsigned pd, unsigned pt)
+{
+    return (static_cast<Vpn>(pml4) << 27) |
+           (static_cast<Vpn>(pdp) << 18) |
+           (static_cast<Vpn>(pd) << 9) | pt;
+}
+
+void
+printPath(const PageTable &pt, Vpn vpn, const char *label)
+{
+    const auto path = pt.walk(vpn);
+    std::cout << "  " << label << " walks:";
+    const char *levels[] = {"PML4", "PDP", "PD", "PT"};
+    for (unsigned l = 0; l < path.levels; ++l) {
+        std::cout << "  " << levels[l] << "@0x" << std::hex
+                  << path.entryAddrs[l] << " (line 0x"
+                  << lineAddrOf(path.entryAddrs[l]) << ")" << std::dec;
+    }
+    std::cout << "\n";
+}
+
+void
+runWalker(const char *label, bool scheduling, const PageTable &pt,
+          const std::vector<Vpn> &vpns)
+{
+    MemorySystem mem((MemorySystemConfig()));
+    EventQueue eq;
+    PtwConfig cfg;
+    cfg.scheduling = scheduling;
+    cfg.pwcLines = 0; // show raw memory reference counts
+    PageWalkers walkers(cfg, pt, mem, eq);
+
+    std::cout << label << ":\n";
+    walkers.requestBatch(vpns, 0, [](Vpn vpn, Cycle done) {
+        std::cout << "    vpn 0x" << std::hex << vpn << std::dec
+                  << " translated at cycle " << done << "\n";
+    });
+    eq.runUntil(1'000'000);
+    std::cout << "    memory references issued: "
+              << walkers.refsIssued()
+              << "  eliminated by the comparator tree: "
+              << walkers.refsEliminated() << "\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    PhysicalMemory phys(1 << 18, /*scramble=*/false);
+    PageTable pt(phys);
+
+    const Vpn a = vpnOf(0xb9, 0x0c, 0xac, 0x03);
+    const Vpn b = vpnOf(0xb9, 0x0c, 0xac, 0x04);
+    const Vpn c = vpnOf(0xb9, 0x0c, 0xad, 0x05);
+    pt.map4K(a, 0x100);
+    pt.map4K(b, 0x101);
+    pt.map4K(c, 0x102);
+
+    std::cout << "Paper Figure 8: three concurrent page walks\n\n";
+    printPath(pt, a, "(0xb9,0x0c,0xac,0x03)");
+    printPath(pt, b, "(0xb9,0x0c,0xac,0x04)");
+    printPath(pt, c, "(0xb9,0x0c,0xad,0x05)");
+    std::cout << "\nAll three share the PML4 and PDP entries; the PD"
+                 "\nentries 0xac/0xad share one 128-byte line; the PT"
+                 "\nentries 0x03/0x04 share a line.\n\n";
+
+    runWalker("Conventional serial walker (dark bubbles)", false, pt,
+              {a, b, c});
+    runWalker("Cache-aware coalesced walker (light bubbles)", true,
+              pt, {a, b, c});
+
+    std::cout << "The scheduler reduces 12 loads to 7 and finishes "
+                 "sooner,\nexactly the paper's example.\n";
+    return 0;
+}

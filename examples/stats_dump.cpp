@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Statistics dump: run one (benchmark, preset) pair and print every
+ * registered statistic - per-core TLB/PTW/L1 counters, walk latency
+ * histograms, scheduler throttle counters, memory-partition traffic.
+ * The grep-friendly format is the debugging entry point for new
+ * design points.
+ *
+ * Usage: stats_dump [benchmark] [preset] [scale]
+ *   preset: no-tlb | naive | augmented | ideal | iommu | ccws | tbc
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hh"
+#include "mmu/iommu.hh"
+#include "core/presets.hh"
+#include "sched/ccws.hh"
+#include "tbc/tbc_core.hh"
+
+using namespace gpummu;
+
+namespace {
+
+SystemConfig
+presetByName(const std::string &name)
+{
+    if (name == "no-tlb")
+        return presets::noTlb();
+    if (name == "naive")
+        return presets::naiveTlb(4);
+    if (name == "augmented")
+        return presets::augmentedTlb();
+    if (name == "ideal")
+        return presets::idealTlb();
+    if (name == "iommu")
+        return presets::iommu();
+    if (name == "ccws")
+        return presets::ccws(presets::augmentedTlb());
+    if (name == "tbc")
+        return presets::tbc(presets::augmentedTlb());
+    std::cerr << "unknown preset '" << name << "'\n";
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string bench_name = argc > 1 ? argv[1] : "bfs";
+    const SystemConfig cfg =
+        presetByName(argc > 2 ? argv[2] : "augmented");
+    WorkloadParams params;
+    params.scale = argc > 3 ? std::atof(argv[3]) : 0.1;
+    params.seed = 42;
+
+    BenchmarkId bench = BenchmarkId::Bfs;
+    for (BenchmarkId id : allBenchmarks()) {
+        if (benchmarkName(id) == bench_name)
+            bench = id;
+    }
+
+    auto workload = makeWorkload(bench, params);
+    auto iommu_holder = std::make_shared<std::unique_ptr<Iommu>>();
+    GpuTop gpu(
+        cfg.numCores, cfg.mem, *workload,
+        [&cfg, iommu_holder](
+            int id, const LaunchParams &l, AddressSpace &as,
+            MemorySystem &m,
+            EventQueue &e) -> std::unique_ptr<ShaderCore> {
+            if (cfg.coreKind == CoreKind::Tbc) {
+                return std::make_unique<TbcCore>(id, cfg.core,
+                                                 cfg.tbc, l, as, m, e);
+            }
+            auto core = std::make_unique<SimtCore>(id, cfg.core, l,
+                                                   as, m, e);
+            if (cfg.sched == SchedulerKind::Ccws)
+                core->setScheduler(std::make_unique<Ccws>(cfg.ccws));
+            if (cfg.iommu) {
+                if (!*iommu_holder) {
+                    *iommu_holder = std::make_unique<Iommu>(
+                        cfg.iommuCfg, as, m, e);
+                }
+                core->setIommu(iommu_holder->get());
+            }
+            return core;
+        },
+        cfg.largePages, cfg.physFrames);
+    if (*iommu_holder)
+        (*iommu_holder)->regStats(gpu.stats(), "iommu");
+
+    const RunStats stats = gpu.run(cfg.maxCycles);
+    std::cout << "# " << benchmarkName(bench) << " / " << cfg.name
+              << " scale=" << params.scale << "\n";
+    std::cout << "run.cycles " << stats.cycles << "\n";
+    std::cout << "run.ipc " << stats.ipc() << "\n";
+    std::cout << "run.tlb_miss_rate " << stats.tlbMissRate() << "\n";
+    std::cout << "run.l1_miss_rate " << stats.l1MissRate() << "\n";
+    gpu.stats().dump(std::cout);
+    return 0;
+}

@@ -1,0 +1,174 @@
+#include "core/experiment.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "sched/ccws.hh"
+#include "sim/logging.hh"
+#include "tbc/tbc_core.hh"
+
+namespace gpummu {
+
+namespace {
+
+std::unique_ptr<WarpScheduler>
+makeScheduler(const SystemConfig &cfg)
+{
+    switch (cfg.sched) {
+      case SchedulerKind::LooseRoundRobin:
+        return std::make_unique<LooseRoundRobin>(
+            cfg.core.numWarpSlots);
+      case SchedulerKind::GreedyThenOldest:
+        return std::make_unique<GreedyThenOldest>();
+      case SchedulerKind::Ccws:
+      case SchedulerKind::TaCcws:
+        return std::make_unique<Ccws>(cfg.ccws);
+      case SchedulerKind::Tcws:
+        return std::make_unique<Tcws>(cfg.tcws);
+    }
+    GPUMMU_PANIC("unknown scheduler kind");
+}
+
+GpuTop::CoreFactory
+makeCoreFactory(const SystemConfig &cfg)
+{
+    if (cfg.coreKind == CoreKind::Tbc) {
+        return [cfg](int core_id, const LaunchParams &launch,
+                     AddressSpace &as, MemorySystem &mem,
+                     EventQueue &eq) -> std::unique_ptr<ShaderCore> {
+            auto core = std::make_unique<TbcCore>(
+                core_id, cfg.core, cfg.tbc, launch, as, mem, eq);
+            return core;
+        };
+    }
+    return [cfg](int core_id, const LaunchParams &launch,
+                 AddressSpace &as, MemorySystem &mem,
+                 EventQueue &eq) -> std::unique_ptr<ShaderCore> {
+        auto core = std::make_unique<SimtCore>(core_id, cfg.core,
+                                               launch, as, mem, eq);
+        core->setScheduler(makeScheduler(cfg));
+        return core;
+    };
+}
+
+} // namespace
+
+RunStats
+runConfig(BenchmarkId bench, const SystemConfig &cfg,
+          const WorkloadParams &params)
+{
+    auto workload = makeWorkload(bench, params);
+    if (!cfg.iommu) {
+        GpuTop gpu(cfg.numCores, cfg.mem, *workload,
+                   makeCoreFactory(cfg), cfg.largePages,
+                   cfg.physFrames);
+        return gpu.run(cfg.maxCycles);
+    }
+
+    // IOMMU mode: one shared translation unit for the whole GPU,
+    // created with the first core and kept alive for the run.
+    GPUMMU_ASSERT(!cfg.core.mmu.enabled,
+                  "IOMMU mode requires per-core MMUs disabled");
+    auto iommu_holder = std::make_shared<std::unique_ptr<Iommu>>();
+    auto factory = [cfg, iommu_holder](
+                       int core_id, const LaunchParams &launch,
+                       AddressSpace &as, MemorySystem &mem,
+                       EventQueue &eq) -> std::unique_ptr<ShaderCore> {
+        if (!*iommu_holder) {
+            *iommu_holder = std::make_unique<Iommu>(cfg.iommuCfg, as,
+                                                    mem, eq);
+        }
+        auto core = std::make_unique<SimtCore>(core_id, cfg.core,
+                                               launch, as, mem, eq);
+        core->setScheduler(makeScheduler(cfg));
+        core->setIommu(iommu_holder->get());
+        return core;
+    };
+    GpuTop gpu(cfg.numCores, cfg.mem, *workload, factory,
+               cfg.largePages, cfg.physFrames);
+    if (*iommu_holder)
+        (*iommu_holder)->regStats(gpu.stats(), "iommu");
+    return gpu.run(cfg.maxCycles);
+}
+
+RunStats
+Experiment::run(BenchmarkId bench, const SystemConfig &cfg)
+{
+    const std::string key = benchmarkName(bench) + "/" + cfg.name;
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+    RunStats stats = runConfig(bench, cfg, params_);
+    cache_.emplace(key, stats);
+    return stats;
+}
+
+double
+Experiment::speedup(BenchmarkId bench, const SystemConfig &cfg,
+                    const SystemConfig &baseline)
+{
+    const RunStats base = run(bench, baseline);
+    const RunStats var = run(bench, cfg);
+    GPUMMU_ASSERT(var.cycles > 0);
+    return static_cast<double>(base.cycles) /
+           static_cast<double>(var.cycles);
+}
+
+ReportTable::ReportTable(std::vector<std::string> columns)
+    : columns_(std::move(columns))
+{
+}
+
+void
+ReportTable::addRow(std::vector<std::string> cells)
+{
+    GPUMMU_ASSERT(cells.size() == columns_.size(),
+                  "row width mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+void
+ReportTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+        widths[c] = columns_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << cells[c];
+            os << (c + 1 < cells.size() ? "  " : "");
+        }
+        os << "\n";
+    };
+    line(columns_);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto &row : rows_)
+        line(row);
+}
+
+std::string
+ReportTable::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+ReportTable::pct(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v * 100.0
+       << "%";
+    return os.str();
+}
+
+} // namespace gpummu

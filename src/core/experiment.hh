@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Experiment runner: build a GPU from a SystemConfig, run a
+ * benchmark, and report speedups against a cached no-TLB baseline -
+ * the normalization every figure in the paper uses.
+ */
+
+#ifndef CORE_EXPERIMENT_HH
+#define CORE_EXPERIMENT_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/presets.hh"
+#include "core/system_config.hh"
+#include "gpu/gpu_top.hh"
+#include "workloads/workload.hh"
+
+namespace gpummu {
+
+/** Run one (benchmark, config) pair to completion. */
+RunStats runConfig(BenchmarkId bench, const SystemConfig &cfg,
+                   const WorkloadParams &params);
+
+/**
+ * Convenience harness for the benches: caches the no-TLB baseline
+ * per benchmark (with the matching core kind and scheduler, as the
+ * paper's figures do) and reports speedups against it.
+ */
+class Experiment
+{
+  public:
+    explicit Experiment(const WorkloadParams &params) : params_(params)
+    {
+    }
+
+    /** Simulated cycles for (bench, cfg); memoized. */
+    RunStats run(BenchmarkId bench, const SystemConfig &cfg);
+
+    /**
+     * Speedup of @p cfg over @p baseline for @p bench (values < 1
+     * are slowdowns, exactly as the paper plots them).
+     */
+    double speedup(BenchmarkId bench, const SystemConfig &cfg,
+                   const SystemConfig &baseline);
+
+    const WorkloadParams &params() const { return params_; }
+
+  private:
+    WorkloadParams params_;
+    std::map<std::string, RunStats> cache_;
+};
+
+/** Fixed-width table printer used by all bench binaries. */
+class ReportTable
+{
+  public:
+    explicit ReportTable(std::vector<std::string> columns);
+
+    void addRow(std::vector<std::string> cells);
+    void print(std::ostream &os) const;
+
+    /** Format a double with fixed precision. */
+    static std::string num(double v, int precision = 3);
+    static std::string pct(double v, int precision = 1);
+
+  private:
+    std::vector<std::string> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace gpummu
+
+#endif // CORE_EXPERIMENT_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Complete configuration of one simulated GPU system.
+ *
+ * Every design point the paper evaluates is a SystemConfig value; the
+ * presets in core/presets.hh construct the named ones (no-TLB
+ * baseline, naive TLB, augmented TLB, ideal TLB, the CCWS family,
+ * and the TBC variants).
+ */
+
+#ifndef CORE_SYSTEM_CONFIG_HH
+#define CORE_SYSTEM_CONFIG_HH
+
+#include <string>
+
+#include "gpu/simt_core.hh"
+#include "mmu/iommu.hh"
+#include "mem/memory_system.hh"
+#include "sched/ccws.hh"
+#include "tbc/tbc_core.hh"
+
+namespace gpummu {
+
+enum class SchedulerKind
+{
+    LooseRoundRobin,
+    GreedyThenOldest,
+    Ccws,   ///< cache-conscious wavefront scheduling
+    TaCcws, ///< CCWS with TLB-miss-weighted scoring
+    Tcws,   ///< TLB-conscious warp scheduling
+};
+
+enum class CoreKind
+{
+    Simt, ///< per-warp reconvergence stacks
+    Tbc,  ///< thread block compaction
+};
+
+struct SystemConfig
+{
+    /** Human-readable label used in reports. */
+    std::string name = "baseline";
+
+    /** Shader cores (paper: 30 SIMT cores over 8 memory channels;
+     *  the bandwidth ratio matters, so keep them in proportion). */
+    unsigned numCores = 30;
+
+    CoreConfig core;
+    MemorySystemConfig mem;
+
+    SchedulerKind sched = SchedulerKind::LooseRoundRobin;
+    CcwsConfig ccws;
+    TcwsConfig tcws;
+
+    CoreKind coreKind = CoreKind::Simt;
+    TbcConfig tbc;
+
+    /**
+     * Use the Section 2.2 IOMMU organisation instead of per-core
+     * MMUs: GPU caches virtually addressed, one big TLB + walkers at
+     * the memory controller. Requires core.mmu.enabled == false.
+     */
+    bool iommu = false;
+    IommuConfig iommuCfg;
+
+    /** Back the address space with 2MB pages (Section 9). */
+    bool largePages = false;
+
+    /** Simulated physical memory, in 4KB frames. */
+    std::uint64_t physFrames = 1ULL << 22; // 16GB
+
+    Cycle maxCycles = 400'000'000;
+};
+
+} // namespace gpummu
+
+#endif // CORE_SYSTEM_CONFIG_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Memory access coalescer.
+ *
+ * The address generator's lane addresses are reduced to (1) unique
+ * cache-line references and (2) unique page (PTE) references, exactly
+ * the two sets the paper presents in parallel to the L1 and the TLB.
+ * The per-page grouping of lines is kept so that overlapped cache
+ * access can release a page's lines as soon as its walk finishes.
+ */
+
+#ifndef GPU_COALESCER_HH
+#define GPU_COALESCER_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace gpummu {
+
+struct CoalescedAccess
+{
+    struct PageGroup
+    {
+        Vpn vpn;
+        /** Unique virtual line addresses (byte addr >> line shift). */
+        std::vector<std::uint64_t> vlines;
+    };
+
+    std::vector<PageGroup> pages;
+    std::size_t totalLines = 0;
+
+    /** Page divergence: distinct translations the warp needs. */
+    std::size_t pageDivergence() const { return pages.size(); }
+};
+
+/**
+ * Coalesce lane addresses. @p line_shift is the cache line shift and
+ * @p page_shift the translation granularity (12 or 21).
+ */
+inline CoalescedAccess
+coalesce(const std::vector<VirtAddr> &lane_addrs, unsigned line_shift,
+         unsigned page_shift)
+{
+    CoalescedAccess out;
+    for (VirtAddr va : lane_addrs) {
+        const Vpn vpn = va >> page_shift;
+        const std::uint64_t vline = va >> line_shift;
+        auto pg = std::find_if(out.pages.begin(), out.pages.end(),
+                               [vpn](const auto &p) {
+                                   return p.vpn == vpn;
+                               });
+        if (pg == out.pages.end()) {
+            out.pages.push_back({vpn, {vline}});
+            ++out.totalLines;
+            continue;
+        }
+        auto &lines = pg->vlines;
+        if (std::find(lines.begin(), lines.end(), vline) ==
+            lines.end()) {
+            lines.push_back(vline);
+            ++out.totalLines;
+        }
+    }
+    return out;
+}
+
+} // namespace gpummu
+
+#endif // GPU_COALESCER_HH

@@ -1,0 +1,125 @@
+#include "gpu/gpu_top.hh"
+
+#include <algorithm>
+
+#include "gpu/memory_stage.hh"
+#include "mem/l1_cache.hh"
+#include "mmu/mmu.hh"
+#include "sim/logging.hh"
+
+namespace gpummu {
+
+GpuTop::GpuTop(unsigned num_cores, const MemorySystemConfig &mem_cfg,
+               Workload &workload, CoreFactory factory, bool large_pages,
+               std::uint64_t phys_frames)
+    : phys_(phys_frames), as_(phys_, large_pages), mem_(mem_cfg),
+      workload_(workload)
+{
+    GPUMMU_ASSERT(num_cores > 0);
+    workload_.build(as_);
+    workload_.program().validate();
+
+    launch_.program = &workload_.program();
+    launch_.threadsPerBlock = workload_.threadsPerBlock();
+    launch_.totalBlocks = workload_.numBlocks();
+    launch_.seed = workload_.params().seed;
+    GPUMMU_ASSERT(launch_.totalBlocks > 0);
+
+    cores_.reserve(num_cores);
+    for (unsigned i = 0; i < num_cores; ++i) {
+        cores_.push_back(factory(static_cast<int>(i), launch_, as_,
+                                 mem_, eq_));
+        cores_.back()->regStats(stats_,
+                                "core" + std::to_string(i));
+    }
+    mem_.regStats(stats_, "mem");
+}
+
+void
+GpuTop::dispatchBlocks()
+{
+    // Breadth-first: one block per core per round, so occupancy
+    // spreads across the machine the way GPGPU-Sim dispatches.
+    bool placed = true;
+    while (placed && nextBlock_ < launch_.totalBlocks) {
+        placed = false;
+        for (auto &core : cores_) {
+            if (nextBlock_ >= launch_.totalBlocks)
+                break;
+            if (core->canAcceptBlock()) {
+                core->launchBlock(nextBlock_++);
+                placed = true;
+            }
+        }
+    }
+}
+
+RunStats
+GpuTop::run(Cycle max_cycles)
+{
+    dispatchBlocks();
+
+    Cycle cycle = 0;
+    while (true) {
+        eq_.runUntil(cycle);
+        bool all_idle = true;
+        for (auto &core : cores_) {
+            core->tick(cycle);
+            all_idle = all_idle && core->idle();
+        }
+        dispatchBlocks();
+        if (all_idle && nextBlock_ >= launch_.totalBlocks &&
+            eq_.empty()) {
+            break;
+        }
+        ++cycle;
+        if (cycle > max_cycles) {
+            GPUMMU_FATAL("simulation exceeded ", max_cycles,
+                         " cycles; deadlock or undersized budget");
+        }
+    }
+
+    RunStats out;
+    out.cycles = cycle;
+    double tlb_lat_sum = 0.0;
+    std::uint64_t tlb_lat_n = 0;
+    double l1_lat_sum = 0.0;
+    std::uint64_t l1_lat_n = 0;
+    double pdiv_sum = 0.0;
+    std::uint64_t pdiv_n = 0;
+    for (auto &core : cores_) {
+        out.instructions += core->instructionsIssued();
+        out.memInstructions += core->memStage().memInstructions();
+        out.tlbAccesses += core->mmu().tlb().accesses();
+        out.tlbHits += core->mmu().tlb().hits();
+        out.l1Accesses += core->l1().accesses();
+        out.l1Hits += core->l1().hits();
+        out.idleCycles += core->idleCycles();
+        out.walkRefsIssued += core->mmu().walkers().refsIssued();
+        out.walkRefsEliminated +=
+            core->mmu().walkers().refsEliminated();
+
+        const auto &tl = core->mmu().missLatency();
+        tlb_lat_sum += static_cast<double>(tl.sum());
+        tlb_lat_n += tl.count();
+        const auto &cl = core->l1().missLatency();
+        l1_lat_sum += static_cast<double>(cl.sum());
+        l1_lat_n += cl.count();
+        const auto &pd = core->memStage().pageDivergence();
+        pdiv_sum += static_cast<double>(pd.sum());
+        pdiv_n += pd.count();
+        out.maxPageDivergence =
+            std::max(out.maxPageDivergence, pd.max());
+    }
+    out.avgTlbMissLatency =
+        tlb_lat_n ? tlb_lat_sum / static_cast<double>(tlb_lat_n) : 0.0;
+    out.avgL1MissLatency =
+        l1_lat_n ? l1_lat_sum / static_cast<double>(l1_lat_n) : 0.0;
+    out.avgPageDivergence =
+        pdiv_n ? pdiv_sum / static_cast<double>(pdiv_n) : 0.0;
+    out.walkL2Accesses = mem_.walkAccesses();
+    out.walkL2Hits = mem_.walkL2Hits();
+    return out;
+}
+
+} // namespace gpummu

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Top-level GPU: address space, shared memory system, shader cores
+ * and the cycle loop. Thread blocks are dispatched to cores as slots
+ * free up, GPGPU-Sim style.
+ */
+
+#ifndef GPU_GPU_TOP_HH
+#define GPU_GPU_TOP_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gpu/shader_core.hh"
+#include "gpu/simt_core.hh"
+#include "mem/memory_system.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "vm/address_space.hh"
+#include "workloads/workload.hh"
+
+namespace gpummu {
+
+/** Aggregate results of one simulation. */
+struct RunStats
+{
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t memInstructions = 0;
+    std::uint64_t tlbAccesses = 0;
+    std::uint64_t tlbHits = 0;
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t idleCycles = 0;
+    std::uint64_t walkRefsIssued = 0;
+    std::uint64_t walkRefsEliminated = 0;
+    std::uint64_t walkL2Accesses = 0;
+    std::uint64_t walkL2Hits = 0;
+    double avgTlbMissLatency = 0.0;
+    double avgL1MissLatency = 0.0;
+    double avgPageDivergence = 0.0;
+    std::uint64_t maxPageDivergence = 0;
+
+    double
+    tlbMissRate() const
+    {
+        return tlbAccesses
+                   ? 1.0 - static_cast<double>(tlbHits) /
+                               static_cast<double>(tlbAccesses)
+                   : 0.0;
+    }
+
+    double
+    l1MissRate() const
+    {
+        return l1Accesses
+                   ? 1.0 - static_cast<double>(l1Hits) /
+                               static_cast<double>(l1Accesses)
+                   : 0.0;
+    }
+
+    double
+    memInstrFraction() const
+    {
+        return instructions ? static_cast<double>(memInstructions) /
+                                  static_cast<double>(instructions)
+                            : 0.0;
+    }
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+class GpuTop
+{
+  public:
+    /** Builds one core; lets presets choose SimtCore vs TbcCore and
+     *  install schedulers. */
+    using CoreFactory = std::function<std::unique_ptr<ShaderCore>(
+        int core_id, const LaunchParams &launch, AddressSpace &as,
+        MemorySystem &mem, EventQueue &eq)>;
+
+    /**
+     * @param num_cores     shader cores (paper: 30)
+     * @param mem_cfg       shared memory system parameters
+     * @param workload      workload to run (built during construction)
+     * @param factory       per-core construction hook
+     * @param large_pages   back the address space with 2MB pages
+     * @param phys_frames   simulated physical memory size in frames
+     */
+    GpuTop(unsigned num_cores, const MemorySystemConfig &mem_cfg,
+           Workload &workload, CoreFactory factory,
+           bool large_pages = false,
+           std::uint64_t phys_frames = 16ULL << 20);
+
+    /**
+     * Run the kernel grid to completion.
+     * @param max_cycles deadlock guard; fatal when exceeded.
+     */
+    RunStats run(Cycle max_cycles = 400'000'000);
+
+    StatRegistry &stats() { return stats_; }
+    ShaderCore &core(unsigned i) { return *cores_.at(i); }
+    unsigned numCores() const { return static_cast<unsigned>(
+        cores_.size()); }
+    MemorySystem &memorySystem() { return mem_; }
+    AddressSpace &addressSpace() { return as_; }
+    EventQueue &eventQueue() { return eq_; }
+
+  private:
+    void dispatchBlocks();
+
+    PhysicalMemory phys_;
+    AddressSpace as_;
+    EventQueue eq_;
+    MemorySystem mem_;
+    Workload &workload_;
+    LaunchParams launch_;
+    std::vector<std::unique_ptr<ShaderCore>> cores_;
+    StatRegistry stats_;
+    unsigned nextBlock_ = 0;
+};
+
+} // namespace gpummu
+
+#endif // GPU_GPU_TOP_HH

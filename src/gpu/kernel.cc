@@ -1,0 +1,46 @@
+#include "gpu/kernel.hh"
+
+namespace gpummu {
+
+void
+KernelProgram::validate() const
+{
+    GPUMMU_ASSERT(!blocks_.empty(), "kernel ", name_, " has no blocks");
+    for (const auto &bb : blocks_) {
+        GPUMMU_ASSERT(!bb.instrs.empty(), "kernel ", name_, " block ",
+                      bb.id, " is empty");
+        for (std::size_t i = 0; i < bb.instrs.size(); ++i) {
+            const auto &in = bb.instrs[i];
+            const bool terminator =
+                in.op == Opcode::Branch || in.op == Opcode::Exit;
+            if (i + 1 < bb.instrs.size()) {
+                GPUMMU_ASSERT(!terminator, "kernel ", name_, " block ",
+                              bb.id, " has code after a terminator");
+            } else {
+                GPUMMU_ASSERT(terminator, "kernel ", name_, " block ",
+                              bb.id, " does not end in branch/exit");
+            }
+            if (in.op == Opcode::Branch) {
+                const int n = static_cast<int>(blocks_.size());
+                GPUMMU_ASSERT(in.takenBlock >= 0 && in.takenBlock < n,
+                              "bad taken target in ", name_);
+                GPUMMU_ASSERT(in.condGen < 0 ||
+                                  (in.fallBlock >= 0 && in.fallBlock < n),
+                              "bad fall target in ", name_);
+                GPUMMU_ASSERT(in.condGen < 0 ||
+                                  (in.reconvBlock >= 0 &&
+                                   in.reconvBlock < n),
+                              "conditional branch without reconvergence "
+                              "block in ", name_);
+            }
+            if (in.op == Opcode::Load || in.op == Opcode::Store) {
+                GPUMMU_ASSERT(in.addrGen >= 0 &&
+                                  in.addrGen <
+                                      static_cast<int>(addrGens_.size()),
+                              "bad addrGen in ", name_);
+            }
+        }
+    }
+}
+
+} // namespace gpummu

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Shader core memory stage (Fig. 5 of the paper).
+ *
+ * Drives one warp memory instruction through: address generation
+ * (done by the caller), coalescing into unique lines + unique PTEs,
+ * parallel TLB / L1 presentation, walk initiation on misses, and the
+ * paper's non-blocking policies:
+ *
+ *  - blocking TLB: the core gates issue on Mmu::memAvailable();
+ *  - hit-under-miss: all-hit warps proceed during outstanding walks,
+ *    would-miss warps are bounced (BlockedTlbBusy) and must retry
+ *    after the MMU drains (no miss-under-miss);
+ *  - overlapped cache access: the missing warp's TLB-hitting lines
+ *    access the L1 immediately; lines under missing pages go as each
+ *    walk finishes.
+ *
+ * The stage is shared by the per-warp-stack core and the TBC core.
+ */
+
+#ifndef GPU_MEMORY_STAGE_HH
+#define GPU_MEMORY_STAGE_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/coalescer.hh"
+#include "mem/l1_cache.hh"
+#include "mmu/iommu.hh"
+#include "mmu/mmu.hh"
+#include "sched/warp_scheduler.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace gpummu {
+
+enum class MemIssueResult
+{
+    Issued,        ///< op accepted; completion callback will fire
+    BlockedTlbBusy ///< would miss under a miss; retry after drain
+};
+
+class MemoryStage
+{
+  public:
+    /** Fires exactly once with the warp's resume cycle. */
+    using CompleteFn = std::function<void(Cycle)>;
+    /** TLB-hit hook carrying the entry's warp history (for the CPM). */
+    using TlbHitHistoryFn =
+        std::function<void(int warp, Vpn vpn,
+                           const std::array<int, 4> &history,
+                           unsigned used)>;
+
+    MemoryStage(Mmu &mmu, L1Cache &l1, EventQueue &eq);
+
+    /** The scheduler receiving cache/TLB feedback (may be null). */
+    void setScheduler(WarpScheduler *sched) { sched_ = sched; }
+
+    /**
+     * Switch to IOMMU mode (Section 2.2 baseline): the L1 is
+     * virtually addressed and translation happens at the shared
+     * memory-controller IOMMU on the L1-miss path. Requires the
+     * per-core MMU to be disabled.
+     */
+    void setIommu(Iommu *iommu) { iommu_ = iommu; }
+
+    /** Optional CPM hook for TLB-aware TBC. */
+    void
+    setTlbHitHistoryHook(TlbHitHistoryFn fn)
+    {
+        onTlbHitHistory_ = std::move(fn);
+    }
+
+    /**
+     * Issue one warp memory instruction.
+     *
+     * @param warp_id    hardware warp slot
+     * @param is_store   store (translation blocks, data does not)
+     * @param lane_addrs virtual addresses of the active lanes
+     * @param now        issue cycle
+     * @param complete   resume callback (sync or async)
+     */
+    MemIssueResult issue(int warp_id, bool is_store,
+                         const std::vector<VirtAddr> &lane_addrs,
+                         Cycle now, CompleteFn complete);
+
+    void regStats(StatRegistry &reg, const std::string &prefix);
+
+    const Histogram &pageDivergence() const { return pageDivergence_; }
+    std::uint64_t memInstructions() const { return memInstrs_.value(); }
+    std::uint64_t tlbBusyBounces() const { return tlbBounces_.value(); }
+
+  private:
+    /** Access one physical line, absorbing MSHR-full retries. */
+    Cycle accessLine(PhysAddr pline, bool is_store, Cycle at,
+                     int warp_id, bool tlb_missed_instr);
+
+    /** IOMMU-mode issue path (virtually addressed caches). */
+    MemIssueResult issueIommu(int warp_id, bool is_store,
+                              const CoalescedAccess &acc, Cycle now,
+                              CompleteFn complete);
+
+    Mmu &mmu_;
+    L1Cache &l1_;
+    EventQueue &eq_;
+    WarpScheduler *sched_ = nullptr;
+    Iommu *iommu_ = nullptr;
+    TlbHitHistoryFn onTlbHitHistory_;
+
+    Counter memInstrs_;
+    Counter tlbBounces_;
+    Counter instrsWithTlbMiss_;
+    Histogram pageDivergence_;
+    Histogram linesPerInstr_;
+};
+
+} // namespace gpummu
+
+#endif // GPU_MEMORY_STAGE_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Abstract shader core, implemented by SimtCore (per-warp stacks) and
+ * TbcCore (thread block compaction). GpuTop drives cores through
+ * this interface only.
+ */
+
+#ifndef GPU_SHADER_CORE_HH
+#define GPU_SHADER_CORE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace gpummu {
+
+class Mmu;
+class L1Cache;
+class MemoryStage;
+
+class ShaderCore
+{
+  public:
+    virtual ~ShaderCore() = default;
+
+    virtual void tick(Cycle now) = 0;
+    virtual bool canAcceptBlock() const = 0;
+    virtual void launchBlock(unsigned global_block_id) = 0;
+    /** No resident work left. */
+    virtual bool idle() const = 0;
+
+    virtual Mmu &mmu() = 0;
+    virtual L1Cache &l1() = 0;
+    virtual MemoryStage &memStage() = 0;
+
+    virtual std::uint64_t instructionsIssued() const = 0;
+    virtual std::uint64_t idleCycles() const = 0;
+
+    virtual void regStats(StatRegistry &reg,
+                          const std::string &prefix) = 0;
+};
+
+} // namespace gpummu
+
+#endif // GPU_SHADER_CORE_HH

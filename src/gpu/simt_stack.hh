@@ -1,0 +1,152 @@
+/**
+ * @file
+ * SIMT reconvergence stack.
+ *
+ * Classic per-warp immediate-post-dominator stack (Fung et al.): on a
+ * divergent branch the current entry is rewritten to continue at the
+ * reconvergence block and one entry per path is pushed above it. Path
+ * entries carry popAt = the reconvergence block; when execution of an
+ * entry reaches popAt the entry pops and the path below resumes.
+ *
+ * TBC reuses the same structure block-wide (one stack per thread
+ * block over masks covering all of the block's threads).
+ */
+
+#ifndef GPU_SIMT_STACK_HH
+#define GPU_SIMT_STACK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace gpummu {
+
+/** Threads per warp (paper: 32). */
+inline constexpr unsigned kWarpWidth = 32;
+
+using LaneMask = std::uint64_t;
+
+inline int
+popcount64(LaneMask m)
+{
+    return __builtin_popcountll(m);
+}
+
+struct StackEntry
+{
+    int block = 0;
+    int instIdx = 0;
+    LaneMask mask = 0;
+    /** Pop when execution reaches this block; -1 never. */
+    int popAt = -1;
+    /** Block-entry bookkeeping (visit counters) already done. */
+    bool entered = false;
+};
+
+class SimtStack
+{
+  public:
+    void
+    reset(int entry_block, LaneMask mask)
+    {
+        entries_.clear();
+        entries_.push_back(StackEntry{entry_block, 0, mask, -1, false});
+    }
+
+    bool empty() const { return entries_.empty(); }
+    std::size_t depth() const { return entries_.size(); }
+
+    StackEntry &
+    top()
+    {
+        GPUMMU_ASSERT(!entries_.empty());
+        return entries_.back();
+    }
+
+    const StackEntry &
+    top() const
+    {
+        GPUMMU_ASSERT(!entries_.empty());
+        return entries_.back();
+    }
+
+    void push(const StackEntry &e) { entries_.push_back(e); }
+
+    void
+    pop()
+    {
+        GPUMMU_ASSERT(!entries_.empty());
+        entries_.pop_back();
+    }
+
+    /**
+     * Drop entries whose execution has reached their reconvergence
+     * point or whose mask emptied. Call before fetching.
+     */
+    void
+    reconverge()
+    {
+        while (!entries_.empty()) {
+            const auto &t = entries_.back();
+            if (t.mask == 0 ||
+                (t.popAt >= 0 && t.block == t.popAt && t.instIdx == 0)) {
+                entries_.pop_back();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /**
+     * Apply a divergent/uniform branch outcome to the top entry.
+     *
+     * @return true when the branch diverged (both masks non-empty).
+     */
+    bool
+    branch(LaneMask taken_mask, LaneMask fall_mask, int taken_block,
+           int fall_block, int reconv_block)
+    {
+        auto &t = top();
+        if (fall_mask == 0) {
+            t.block = taken_block;
+            t.instIdx = 0;
+            t.entered = false;
+            return false;
+        }
+        if (taken_mask == 0) {
+            t.block = fall_block;
+            t.instIdx = 0;
+            t.entered = false;
+            return false;
+        }
+        // Divergence: current entry continues at the reconvergence
+        // point with the union mask; one entry per path goes above.
+        t.block = reconv_block;
+        t.instIdx = 0;
+        t.entered = false;
+        entries_.push_back(
+            StackEntry{fall_block, 0, fall_mask, reconv_block, false});
+        entries_.push_back(
+            StackEntry{taken_block, 0, taken_mask, reconv_block,
+                       false});
+        return true;
+    }
+
+    /** Remove threads (e.g. exited ones) from every entry. */
+    void
+    clearLanes(LaneMask lanes)
+    {
+        for (auto &e : entries_)
+            e.mask &= ~lanes;
+    }
+
+    const std::vector<StackEntry> &entries() const { return entries_; }
+
+  private:
+    std::vector<StackEntry> entries_;
+};
+
+} // namespace gpummu
+
+#endif // GPU_SIMT_STACK_HH

@@ -1,0 +1,135 @@
+#include "mem/l1_cache.hh"
+
+#include <algorithm>
+
+namespace gpummu {
+
+L1Cache::L1Cache(const L1CacheConfig &cfg, MemorySystem &mem)
+    : cfg_(cfg), mem_(mem), array_(cfg.bytes / kLineSize, cfg.ways)
+{
+}
+
+void
+L1Cache::reapMshrs(Cycle now)
+{
+    for (auto it = mshrs_.begin(); it != mshrs_.end();) {
+        if (it->second <= now)
+            it = mshrs_.erase(it);
+        else
+            ++it;
+    }
+}
+
+Cycle
+L1Cache::earliestMshrFree() const
+{
+    Cycle earliest = kCycleNever;
+    for (const auto &[line, ready] : mshrs_)
+        earliest = std::min(earliest, ready);
+    return earliest;
+}
+
+AccessOutcome
+L1Cache::access(PhysAddr line_addr, bool is_write, Cycle now, int warp_id)
+{
+    AccessOutcome out;
+
+    if (is_write) {
+        accesses_.inc();
+        // Write-through no-allocate: forward to the shared system and
+        // invalidate any local copy so later loads refetch.
+        array_.invalidate(line_addr);
+        auto shared = mem_.access(line_addr, true, now + cfg_.hitLatency,
+                                  AccessSource::Data);
+        // Stores retire into the memory system; the warp does not
+        // wait on the response, so report store latency as the local
+        // hand-off only.
+        out.hit = true;
+        out.readyAt = now + cfg_.hitLatency;
+        (void)shared;
+        return out;
+    }
+
+    auto res = array_.lookup(line_addr);
+    if (res.hit) {
+        accesses_.inc();
+        // Tags are allocated at miss time; if the fill is still in
+        // flight this is an MSHR merge, not a data hit.
+        if (auto it = mshrs_.find(line_addr);
+            it != mshrs_.end() && it->second > now) {
+            mshrMerges_.inc();
+            out.hit = false;
+            out.mshrMerged = true;
+            out.readyAt = it->second;
+            return out;
+        }
+        hits_.inc();
+        out.hit = true;
+        out.readyAt = now + cfg_.hitLatency;
+        return out;
+    }
+
+    // The tag was evicted while its fill is outstanding: merge.
+    if (auto it = mshrs_.find(line_addr); it != mshrs_.end()) {
+        if (it->second > now) {
+            accesses_.inc();
+            mshrMerges_.inc();
+            out.hit = false;
+            out.mshrMerged = true;
+            out.readyAt = it->second;
+            return out;
+        }
+        mshrs_.erase(it);
+    }
+
+    if (mshrs_.size() >= cfg_.numMshrs) {
+        reapMshrs(now);
+        if (mshrs_.size() >= cfg_.numMshrs) {
+            // Structural stall: the caller must retry once an
+            // outstanding fill returns. Not counted as an access.
+            mshrStalls_.inc();
+            out.needRetry = true;
+            out.readyAt = std::max(now + 1, earliestMshrFree());
+            return out;
+        }
+    }
+
+    accesses_.inc();
+    auto shared = mem_.access(line_addr, false, now + cfg_.hitLatency,
+                              AccessSource::Data);
+    mshrs_.emplace(line_addr, shared.readyAt);
+    missLatency_.sample(shared.readyAt - now);
+
+    // Allocate the tag now (fetch-on-miss with immediate allocation);
+    // the evicted victim is reported to the CCWS hook.
+    auto victim = array_.insert(line_addr, LineInfo{warp_id});
+    if (victim) {
+        evictions_.inc();
+        if (onEvict_)
+            onEvict_(victim->tag, victim->payload.allocWarp);
+    }
+
+    out.hit = false;
+    out.readyAt = shared.readyAt;
+    return out;
+}
+
+void
+L1Cache::flush()
+{
+    array_.flush();
+    mshrs_.clear();
+}
+
+void
+L1Cache::regStats(StatRegistry &reg, const std::string &prefix)
+{
+    reg.addCounter(prefix + ".accesses", &accesses_);
+    reg.addCounter(prefix + ".hits", &hits_);
+    reg.addCounter(prefix + ".mshr_merges", &mshrMerges_);
+    reg.addCounter(prefix + ".mshr_stalls", &mshrStalls_);
+    reg.addCounter(prefix + ".evictions", &evictions_);
+    reg.addHistogram(prefix + ".miss_latency", &missLatency_);
+}
+
+} // namespace gpummu

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Memory request descriptors shared across the hierarchy.
+ */
+
+#ifndef MEM_REQUEST_HH
+#define MEM_REQUEST_HH
+
+#include "sim/types.hh"
+
+namespace gpummu {
+
+/** Default GPU cache line size, matching the paper (128 bytes). */
+inline constexpr unsigned kLineShift = 7;
+inline constexpr std::uint64_t kLineSize = 1ULL << kLineShift;
+
+/** Byte address -> cache line address. */
+inline PhysAddr
+lineAddrOf(PhysAddr byte_addr)
+{
+    return byte_addr >> kLineShift;
+}
+
+/** Who generated a shared-memory-system access. */
+enum class AccessSource
+{
+    Data,     ///< demand data from an L1 miss or write-through store
+    PageWalk, ///< page table walker reference
+};
+
+/** Outcome of a timed access into some level of the hierarchy. */
+struct AccessOutcome
+{
+    /** Cycle at which the data is back at the requester. */
+    Cycle readyAt = 0;
+    /** Hit in this level's array (or merged into an existing MSHR). */
+    bool hit = false;
+    /** The request was merged into an outstanding miss to this line. */
+    bool mshrMerged = false;
+    /** No MSHR was available; the requester must retry later. */
+    bool needRetry = false;
+};
+
+} // namespace gpummu
+
+#endif // MEM_REQUEST_HH

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Generic set-associative array with true-LRU replacement.
+ *
+ * Shared by the L1/L2 data caches, the TLB, and the CCWS victim tag
+ * arrays. The payload type is a template parameter; lookups report
+ * the LRU depth of the hit (depth 0 = MRU), which TCWS uses to weight
+ * lost-locality scores.
+ */
+
+#ifndef MEM_SET_ASSOC_HH
+#define MEM_SET_ASSOC_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace gpummu {
+
+template <typename Payload>
+class SetAssocArray
+{
+  public:
+    struct Victim
+    {
+        std::uint64_t tag;
+        Payload payload;
+    };
+
+    struct LookupResult
+    {
+        bool hit = false;
+        /** LRU stack depth of the hit: 0 is MRU. Valid when hit. */
+        unsigned depth = 0;
+        Payload *payload = nullptr;
+    };
+
+    /**
+     * @param num_entries total entries (must be a multiple of ways)
+     * @param ways        associativity; 0 means fully associative
+     */
+    SetAssocArray(std::size_t num_entries, std::size_t ways)
+    {
+        GPUMMU_ASSERT(num_entries > 0);
+        if (ways == 0 || ways > num_entries)
+            ways = num_entries;
+        GPUMMU_ASSERT(num_entries % ways == 0,
+                      "entries ", num_entries, " not divisible by ways ",
+                      ways);
+        ways_ = ways;
+        numSets_ = num_entries / ways;
+        sets_.resize(numSets_);
+        for (auto &set : sets_)
+            set.reserve(ways_);
+    }
+
+    std::size_t numEntries() const { return numSets_ * ways_; }
+    std::size_t numSets() const { return numSets_; }
+    std::size_t ways() const { return ways_; }
+
+    /** Look up a tag and promote it to MRU on a hit. */
+    LookupResult
+    lookup(std::uint64_t tag)
+    {
+        auto &set = setFor(tag);
+        for (std::size_t i = 0; i < set.size(); ++i) {
+            if (set[i].tag == tag) {
+                LookupResult res;
+                res.hit = true;
+                res.depth = static_cast<unsigned>(i);
+                // Move to MRU position (front).
+                Entry e = std::move(set[i]);
+                set.erase(set.begin() + static_cast<long>(i));
+                set.insert(set.begin(), std::move(e));
+                res.payload = &set.front().payload;
+                return res;
+            }
+        }
+        return LookupResult{};
+    }
+
+    /** Look up without touching LRU state (for inspection/tests). */
+    const Payload *
+    peek(std::uint64_t tag) const
+    {
+        const auto &set = setFor(tag);
+        for (const auto &e : set) {
+            if (e.tag == tag)
+                return &e.payload;
+        }
+        return nullptr;
+    }
+
+    /**
+     * Insert a tag at MRU, evicting LRU if the set is full. If the
+     * tag is already present it is overwritten and promoted.
+     *
+     * @return the evicted entry, if any.
+     */
+    std::optional<Victim>
+    insert(std::uint64_t tag, Payload payload)
+    {
+        auto &set = setFor(tag);
+        for (std::size_t i = 0; i < set.size(); ++i) {
+            if (set[i].tag == tag) {
+                set.erase(set.begin() + static_cast<long>(i));
+                break;
+            }
+        }
+        std::optional<Victim> victim;
+        if (set.size() == ways_) {
+            victim = Victim{set.back().tag, std::move(set.back().payload)};
+            set.pop_back();
+        }
+        set.insert(set.begin(), Entry{tag, std::move(payload)});
+        return victim;
+    }
+
+    /** Remove one tag if present. @return true when it was present. */
+    bool
+    invalidate(std::uint64_t tag)
+    {
+        auto &set = setFor(tag);
+        for (std::size_t i = 0; i < set.size(); ++i) {
+            if (set[i].tag == tag) {
+                set.erase(set.begin() + static_cast<long>(i));
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Drop every entry (TLB shootdown / kernel switch). */
+    void
+    flush()
+    {
+        for (auto &set : sets_)
+            set.clear();
+    }
+
+    /** Number of currently valid entries. */
+    std::size_t
+    occupancy() const
+    {
+        std::size_t n = 0;
+        for (const auto &set : sets_)
+            n += set.size();
+        return n;
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t tag;
+        Payload payload;
+    };
+
+    using Set = std::vector<Entry>;
+
+    Set &setFor(std::uint64_t tag) { return sets_[tag % numSets_]; }
+    const Set &setFor(std::uint64_t tag) const
+    {
+        return sets_[tag % numSets_];
+    }
+
+    std::size_t ways_;
+    std::size_t numSets_;
+    std::vector<Set> sets_;
+};
+
+} // namespace gpummu
+
+#endif // MEM_SET_ASSOC_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * CACTI-style access-time model for TLB sizing.
+ *
+ * The paper sizes GPU TLBs with CACTI and finds that 128 entries is
+ * the largest CAM that still fits under the 32KB L1 set-selection
+ * time, so up to 128 entries the (L1-parallel) TLB lookup is free.
+ * Larger arrays and wider porting cost extra pipeline cycles on every
+ * memory instruction. The "ideal" reference configurations in
+ * Figs. 6/7/10 disable these penalties.
+ */
+
+#ifndef MMU_CACTI_MODEL_HH
+#define MMU_CACTI_MODEL_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace gpummu {
+
+struct CactiModel
+{
+    /** When true, size/port penalties are suppressed (ideal TLB). */
+    bool ideal = false;
+
+    /**
+     * Extra cycles added to every TLB access purely from array size.
+     * <=128 entries fit under L1 set selection; each doubling beyond
+     * that costs additional cycles (CAM search plus wiring).
+     */
+    Cycle
+    sizePenalty(std::size_t entries) const
+    {
+        if (ideal || entries <= 128)
+            return 0;
+        Cycle penalty = 0;
+        for (std::size_t sz = 256; sz <= entries; sz *= 2)
+            penalty += 2;
+        return penalty;
+    }
+
+    /**
+     * Extra cycles from port count. 3-4 ports are implementable at
+     * the base access time; heavier multiporting replicates or banks
+     * the CAM and slows the access.
+     */
+    Cycle
+    portPenalty(unsigned ports) const
+    {
+        if (ideal || ports <= 4)
+            return 0;
+        if (ports <= 8)
+            return 1;
+        if (ports <= 16)
+            return 2;
+        return 3;
+    }
+
+    Cycle
+    accessPenalty(std::size_t entries, unsigned ports) const
+    {
+        return sizePenalty(entries) + portPenalty(ports);
+    }
+};
+
+} // namespace gpummu
+
+#endif // MMU_CACTI_MODEL_HH

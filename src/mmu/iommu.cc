@@ -1,0 +1,62 @@
+#include "mmu/iommu.hh"
+
+#include "sim/logging.hh"
+
+namespace gpummu {
+
+Iommu::Iommu(const IommuConfig &cfg, AddressSpace &as,
+             MemorySystem &mem, EventQueue &eq)
+    : cfg_(cfg), as_(as), tlb_(cfg.tlb),
+      walkers_(cfg.ptw, as.pageTable(), mem, eq)
+{
+    GPUMMU_ASSERT(!as.usesLargePages() || true,
+                  "IOMMU model translates at 4KB granularity");
+}
+
+void
+Iommu::translate(Vpn vpn, Cycle now, DoneFn done)
+{
+    // Shared lookup port: requests from all cores serialize here.
+    const Cycle start = std::max(now, portFreeAt_);
+    portFreeAt_ = start + cfg_.lookupInterval;
+    const Cycle looked_up = start + cfg_.lookupLatency;
+
+    auto res = tlb_.lookup(vpn, /*warp=*/-1);
+    if (res.hit) {
+        done(res.ppn, looked_up);
+        return;
+    }
+
+    auto it = outstanding_.find(vpn);
+    if (it != outstanding_.end()) {
+        mergedWalks_.inc();
+        it->second.push_back(std::move(done));
+        return;
+    }
+    outstanding_[vpn].push_back(std::move(done));
+
+    walkers_.requestBatch(
+        {vpn}, looked_up, [this, now](Vpn walked, Cycle finish) {
+            auto path = as_.pageTable().walk(walked);
+            const std::uint64_t frame = path.result.ppn;
+            tlb_.fill(walked, Translation{frame, path.result.isLarge});
+            missLatency_.sample(finish - now);
+            auto wit = outstanding_.find(walked);
+            GPUMMU_ASSERT(wit != outstanding_.end());
+            auto waiters = std::move(wit->second);
+            outstanding_.erase(wit);
+            for (auto &fn : waiters)
+                fn(frame, finish);
+        });
+}
+
+void
+Iommu::regStats(StatRegistry &reg, const std::string &prefix)
+{
+    tlb_.regStats(reg, prefix + ".tlb");
+    walkers_.regStats(reg, prefix + ".ptw");
+    reg.addCounter(prefix + ".merged_walks", &mergedWalks_);
+    reg.addHistogram(prefix + ".miss_latency", &missLatency_);
+}
+
+} // namespace gpummu

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * IOMMU-style translation: the pre-unified-address-space alternative
+ * the paper describes in Section 2.2.
+ *
+ * Today's discrete designs put one large TLB plus walkers *at the
+ * memory controller* (Intel VT-d / AMD IOMMU), which leaves the GPU's
+ * own caches virtually addressed. Translation therefore sits on the
+ * L1-miss path instead of beside the L1: hits in the (virtual) L1
+ * never translate, but every L1 miss from every core funnels through
+ * this one shared structure.
+ *
+ * The paper argues against this organisation on programmability
+ * grounds (synonyms/homonyms, context switches, coherence); this
+ * model makes the *performance* side of that comparison measurable.
+ */
+
+#ifndef MMU_IOMMU_HH
+#define MMU_IOMMU_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mmu/ptw.hh"
+#include "mmu/tlb.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "vm/address_space.hh"
+
+namespace gpummu {
+
+struct IommuConfig
+{
+    /** IOMMUs afford much larger TLBs than L1-parallel designs. */
+    TlbConfig tlb{.entries = 1024, .ways = 8, .ports = 2,
+                  .historyLength = 0};
+    PtwConfig ptw{.numWalkers = 4, .scheduling = false};
+    /** Lookup occupancy: one request per interval (pipelined CAM). */
+    Cycle lookupInterval = 1;
+    /** Fixed pipeline latency of a lookup at the controller. */
+    Cycle lookupLatency = 8;
+};
+
+/**
+ * One IOMMU shared by every shader core of the GPU.
+ */
+class Iommu
+{
+  public:
+    /** (frame base in 4KB pages, cycle the translation is ready). */
+    using DoneFn = std::function<void(std::uint64_t, Cycle)>;
+
+    Iommu(const IommuConfig &cfg, AddressSpace &as, MemorySystem &mem,
+          EventQueue &eq);
+
+    /**
+     * Translate @p vpn (4KB granularity) for a request arriving at
+     * the controller at @p now. The callback fires synchronously on
+     * a TLB hit and at walk completion otherwise.
+     */
+    void translate(Vpn vpn, Cycle now, DoneFn done);
+
+    Tlb &tlb() { return tlb_; }
+    PageWalkers &walkers() { return walkers_; }
+
+    void regStats(StatRegistry &reg, const std::string &prefix);
+
+    std::uint64_t lookups() const { return tlb_.accesses(); }
+    std::uint64_t hits() const { return tlb_.hits(); }
+
+  private:
+    IommuConfig cfg_;
+    AddressSpace &as_;
+    Tlb tlb_;
+    PageWalkers walkers_;
+    Cycle portFreeAt_ = 0;
+
+    /** Waiters for in-flight walks, merged per VPN. */
+    std::map<Vpn, std::vector<DoneFn>> outstanding_;
+
+    Counter mergedWalks_;
+    Histogram missLatency_;
+};
+
+} // namespace gpummu
+
+#endif // MMU_IOMMU_HH

@@ -1,0 +1,171 @@
+#include "mmu/mmu.hh"
+
+#include "sim/logging.hh"
+
+namespace gpummu {
+
+Mmu::Mmu(const MmuConfig &cfg, AddressSpace &as, MemorySystem &mem,
+         EventQueue &eq)
+    : cfg_(cfg), as_(as),
+      pageShift_(as.usesLargePages() ? kPageShift2M : kPageShift4K),
+      tlb_(cfg.tlb), walkers_(cfg.ptw, as.pageTable(), mem, eq)
+{
+}
+
+PhysAddr
+Mmu::magicTranslate(VirtAddr va) const
+{
+    auto t = as_.pageTable().translate(va >> kPageShift4K);
+    GPUMMU_ASSERT(t.has_value(), "access to unmapped VA ", va);
+    return (t->ppn << kPageShift4K) | (va & (kPageSize4K - 1));
+}
+
+Mmu::BatchResult
+Mmu::lookupBatch(const std::vector<Vpn> &vpns, int warp_id)
+{
+    GPUMMU_ASSERT(cfg_.enabled, "lookupBatch on a disabled MMU");
+    BatchResult out;
+    out.lookups.reserve(vpns.size());
+    for (Vpn vpn : vpns) {
+        auto res = tlb_.lookup(vpn, warp_id);
+        VpnLookup vl;
+        vl.vpn = vpn;
+        vl.hit = res.hit;
+        vl.depth = res.depth;
+        vl.frameBase = res.ppn;
+        vl.history = res.history;
+        vl.historyUsed = res.historyUsed;
+        out.allHit = out.allHit && res.hit;
+        out.lookups.push_back(vl);
+    }
+
+    // Port serialization: the first `ports` lookups ride along with
+    // the L1 access for free; each further group of `ports` costs a
+    // cycle. Oversized or overported arrays cost CACTI penalties on
+    // every access.
+    const unsigned ports = cfg_.tlb.ports;
+    if (!vpns.empty()) {
+        const Cycle groups =
+            (static_cast<Cycle>(vpns.size()) + ports - 1) / ports;
+        out.extraCycles = (groups - 1) +
+                          cfg_.cacti.accessPenalty(cfg_.tlb.entries,
+                                                   cfg_.tlb.ports);
+    }
+    return out;
+}
+
+bool
+Mmu::memAvailable() const
+{
+    if (!cfg_.enabled)
+        return true;
+    if (cfg_.hitUnderMiss)
+        return true;
+    return outstanding_.empty();
+}
+
+bool
+Mmu::canStartMisses(std::size_t count) const
+{
+    if (!cfg_.enabled)
+        return false;
+    // No miss-under-miss: a new miss set may start only when the MMU
+    // has fully drained (the paper leaves more aggressive support to
+    // future work). A single warp's simultaneous misses count as one
+    // "original miss" and always start together.
+    if (!outstanding_.empty())
+        return false;
+    return count <= cfg_.mshrs;
+}
+
+void
+Mmu::onDrain(std::function<void()> fn)
+{
+    GPUMMU_ASSERT(!outstanding_.empty(),
+                  "onDrain with no outstanding walks would never fire");
+    drainWaiters_.push_back(std::move(fn));
+}
+
+void
+Mmu::requestWalks(const std::vector<Vpn> &vpns, int warp_id, Cycle now,
+                  WalkDoneFn done)
+{
+    GPUMMU_ASSERT(cfg_.enabled);
+    std::vector<Vpn> to_walk;
+    to_walk.reserve(vpns.size());
+    for (Vpn vpn : vpns) {
+        auto it = outstanding_.find(vpn);
+        if (it != outstanding_.end()) {
+            // Another thread/warp already walks this page; piggyback.
+            mergedWalks_.inc();
+            it->second.push_back(done);
+            continue;
+        }
+        outstanding_[vpn].push_back(done);
+        missStart_[vpn] = now;
+        to_walk.push_back(vpn);
+    }
+    if (to_walk.empty())
+        return;
+
+    // The walkers operate on 4KB-granularity VPNs; in large-page mode
+    // the TLB tag is the 2MB VPN, so expand before walking.
+    std::vector<Vpn> walk_vpns;
+    walk_vpns.reserve(to_walk.size());
+    const unsigned expand = pageShift_ - kPageShift4K;
+    for (Vpn vpn : to_walk)
+        walk_vpns.push_back(vpn << expand);
+
+    walkers_.requestBatch(
+        walk_vpns, now, [this, warp_id](Vpn vpn4k, Cycle finish) {
+            const Vpn tag = vpn4k >> (pageShift_ - kPageShift4K);
+            auto path = as_.pageTable().walk(vpn4k);
+            Translation t = path.result;
+            std::uint64_t frame_base =
+                t.isLarge ? (t.ppn >> (kPageShift2M - kPageShift4K))
+                          : t.ppn;
+            GPUMMU_ASSERT(t.isLarge == as_.usesLargePages(),
+                          "page size mismatch between walk and MMU");
+            tlb_.fill(tag, Translation{frame_base, t.isLarge}, warp_id);
+
+            auto it = outstanding_.find(tag);
+            GPUMMU_ASSERT(it != outstanding_.end(),
+                          "walk completion for unknown VPN");
+            auto waiters = std::move(it->second);
+            outstanding_.erase(it);
+
+            auto start_it = missStart_.find(tag);
+            GPUMMU_ASSERT(start_it != missStart_.end());
+            missLatency_.sample(finish - start_it->second);
+            missStart_.erase(start_it);
+
+            for (auto &fn : waiters)
+                fn(tag, frame_base, finish);
+
+            if (outstanding_.empty() && !drainWaiters_.empty()) {
+                auto drained = std::move(drainWaiters_);
+                drainWaiters_.clear();
+                for (auto &fn : drained)
+                    fn();
+            }
+        });
+}
+
+void
+Mmu::shootdown()
+{
+    shootdowns_.inc();
+    tlb_.flush();
+}
+
+void
+Mmu::regStats(StatRegistry &reg, const std::string &prefix)
+{
+    tlb_.regStats(reg, prefix + ".tlb");
+    walkers_.regStats(reg, prefix + ".ptw");
+    reg.addCounter(prefix + ".merged_walks", &mergedWalks_);
+    reg.addCounter(prefix + ".shootdowns", &shootdowns_);
+    reg.addHistogram(prefix + ".miss_latency", &missLatency_);
+}
+
+} // namespace gpummu

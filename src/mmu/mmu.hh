@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Per-shader-core memory management unit.
+ *
+ * Bundles the TLB, the walker pool, the CACTI access-time model and
+ * the non-blocking policy state, and presents the interface the
+ * shader core's memory stage drives:
+ *
+ *  - lookupBatch(): translate a warp's coalesced set of VPNs through
+ *    the multi-ported TLB, reporting the port-serialization cost;
+ *  - requestWalks(): start walks for the missing VPNs (merging
+ *    duplicates into outstanding walks) with per-VPN completion
+ *    callbacks;
+ *  - memAvailable(): the blocking / hit-under-miss policy gate the
+ *    warp scheduler consults before issuing a memory instruction.
+ *
+ * With `enabled == false` the MMU models the paper's no-TLB baseline:
+ * translation is magic and free (the pre-unified-address-space GPU).
+ */
+
+#ifndef MMU_MMU_HH
+#define MMU_MMU_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mmu/cacti_model.hh"
+#include "mmu/ptw.hh"
+#include "mmu/tlb.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "vm/address_space.hh"
+
+namespace gpummu {
+
+struct MmuConfig
+{
+    /** False models the no-TLB baseline (magic translation). */
+    bool enabled = true;
+    TlbConfig tlb;
+    PtwConfig ptw;
+    CactiModel cacti;
+    /**
+     * Non-blocking feature 1: warps whose lookups all hit may proceed
+     * while walks are outstanding (hits under misses). When false the
+     * TLB blocks every memory instruction during a miss, the paper's
+     * naive strawman.
+     */
+    bool hitUnderMiss = false;
+    /**
+     * Non-blocking feature 2: threads of the *missing* warp that hit
+     * in the TLB access the L1 immediately instead of waiting for the
+     * warp's walks to resolve (overlapped cache access). Consumed by
+     * the shader core's memory stage.
+     */
+    bool cacheOverlap = false;
+    /** TLB miss status holding registers (one per warp thread). */
+    unsigned mshrs = 32;
+};
+
+class Mmu
+{
+  public:
+    /** Result of translating one VPN of a warp's batch. */
+    struct VpnLookup
+    {
+        Vpn vpn = 0;
+        bool hit = false;
+        unsigned depth = 0; ///< LRU depth when hit
+        /** Page frame base in pageSize units (valid on hit). */
+        std::uint64_t frameBase = 0;
+        /** Warp-history snapshot for the common page matrix. */
+        std::array<int, 4> history{-1, -1, -1, -1};
+        unsigned historyUsed = 0;
+    };
+
+    struct BatchResult
+    {
+        std::vector<VpnLookup> lookups;
+        /** Extra pipeline cycles: port serialization + CACTI. */
+        Cycle extraCycles = 0;
+        bool allHit = true;
+    };
+
+    /** (vpn, frame base in pageSize units, completion cycle). */
+    using WalkDoneFn =
+        std::function<void(Vpn, std::uint64_t, Cycle)>;
+
+    Mmu(const MmuConfig &cfg, AddressSpace &as, MemorySystem &mem,
+        EventQueue &eq);
+
+    const MmuConfig &config() const { return cfg_; }
+
+    /** Log2 of the translation granularity (12 or 21). */
+    unsigned pageShift() const { return pageShift_; }
+    std::uint64_t pageSize() const { return 1ULL << pageShift_; }
+
+    Vpn vpnOf(VirtAddr va) const { return va >> pageShift_; }
+
+    /** Physical byte address from a hit frame base + original VA. */
+    PhysAddr
+    physAddr(std::uint64_t frame_base, VirtAddr va) const
+    {
+        return (frame_base << pageShift_) |
+               (va & ((1ULL << pageShift_) - 1));
+    }
+
+    /**
+     * Magic (zero-cost, always-correct) translation for the no-TLB
+     * baseline and for store address generation.
+     */
+    PhysAddr magicTranslate(VirtAddr va) const;
+
+    /**
+     * Translate a warp's coalesced VPN set. Misses are identified
+     * but walks are *not* started; the caller decides based on the
+     * blocking policy (see requestWalks).
+     */
+    BatchResult lookupBatch(const std::vector<Vpn> &vpns, int warp_id);
+
+    /**
+     * Can a warp's memory instruction access the TLB right now?
+     * Blocking TLB: only when no walk is outstanding.
+     * Hit-under-miss: always (but a *missing* warp must consult
+     * canStartMisses()).
+     */
+    bool memAvailable() const;
+
+    /**
+     * May a fresh set of misses start walking? False while walks are
+     * outstanding under hit-under-miss (no miss-under-miss support,
+     * matching the paper), or when MSHRs would overflow.
+     */
+    bool canStartMisses(std::size_t count) const;
+
+    /**
+     * Begin walks for missing VPNs on behalf of @p warp_id. Duplicate
+     * VPNs already being walked are merged into the outstanding
+     * entry. @p done fires at each VPN's completion, after the TLB
+     * fill.
+     */
+    void requestWalks(const std::vector<Vpn> &vpns, int warp_id,
+                      Cycle now, WalkDoneFn done);
+
+    /**
+     * Register a one-shot callback fired when the last outstanding
+     * walk drains (hit-under-miss warps waiting to retry a miss).
+     */
+    void onDrain(std::function<void()> fn);
+
+    bool missOutstanding() const { return !outstanding_.empty(); }
+    std::size_t outstandingCount() const { return outstanding_.size(); }
+
+    Tlb &tlb() { return tlb_; }
+    const Tlb &tlb() const { return tlb_; }
+    PageWalkers &walkers() { return walkers_; }
+    const PageWalkers &walkers() const { return walkers_; }
+
+    /** TLB shootdown from the host CPU (IPI-driven flush). */
+    void shootdown();
+
+    void regStats(StatRegistry &reg, const std::string &prefix);
+
+    /** Full TLB-miss service time distribution (Fig. 4). */
+    const Histogram &missLatency() const { return missLatency_; }
+    std::uint64_t mergedWalks() const { return mergedWalks_.value(); }
+
+  private:
+    MmuConfig cfg_;
+    AddressSpace &as_;
+    unsigned pageShift_;
+    Tlb tlb_;
+    PageWalkers walkers_;
+
+    /** VPN -> waiters, for merging concurrent walks to one page. */
+    std::map<Vpn, std::vector<WalkDoneFn>> outstanding_;
+    std::map<Vpn, Cycle> missStart_;
+    std::vector<std::function<void()>> drainWaiters_;
+
+    Counter mergedWalks_;
+    Counter shootdowns_;
+    Histogram missLatency_;
+};
+
+} // namespace gpummu
+
+#endif // MMU_MMU_HH

@@ -1,0 +1,192 @@
+#include "mmu/ptw.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "mem/request.hh"
+#include "sim/logging.hh"
+
+namespace gpummu {
+
+PageWalkers::PageWalkers(const PtwConfig &cfg, const PageTable &pt,
+                         MemorySystem &mem, EventQueue &eq)
+    : cfg_(cfg), pt_(pt), mem_(mem), eq_(eq),
+      pwc_(std::max<std::size_t>(cfg.pwcLines, 1),
+           std::min(cfg.pwcWays,
+                    std::max<std::size_t>(cfg.pwcLines, 1)))
+{
+    GPUMMU_ASSERT(cfg.numWalkers >= 1);
+    walkerBusy_.assign(cfg.scheduling ? 1 : cfg.numWalkers, false);
+}
+
+Cycle
+PageWalkers::walkRef(PhysAddr line_addr, Cycle at)
+{
+    // All walkers share one issue port into the memory system.
+    const Cycle issue = std::max(at, portFreeAt_);
+    portFreeAt_ = issue + cfg_.portInterval;
+    refsIssued_.inc();
+    if (cfg_.pwcLines > 0 && pwc_.lookup(line_addr).hit) {
+        pwcHits_.inc();
+        return issue + cfg_.pwcHitLatency;
+    }
+    auto out =
+        mem_.access(line_addr, false, issue, AccessSource::PageWalk);
+    if (cfg_.pwcLines > 0)
+        pwc_.insert(line_addr, 0);
+    return out.readyAt;
+}
+
+void
+PageWalkers::requestBatch(const std::vector<Vpn> &vpns, Cycle now,
+                          DoneFn done)
+{
+    for (Vpn vpn : vpns)
+        queue_.push_back(PendingWalk{vpn, now, done});
+    pump(now);
+}
+
+void
+PageWalkers::pump(Cycle now)
+{
+    for (unsigned w = 0; w < walkerBusy_.size(); ++w) {
+        if (queue_.empty())
+            return;
+        if (walkerBusy_[w])
+            continue;
+        if (cfg_.scheduling)
+            startScheduledBatch(w, now);
+        else
+            startNaive(w, now);
+    }
+}
+
+void
+PageWalkers::startNaive(unsigned w, Cycle now)
+{
+    GPUMMU_ASSERT(!queue_.empty());
+    auto batch = std::make_shared<ActiveBatch>();
+    PendingWalk walk = std::move(queue_.front());
+    queue_.pop_front();
+    const WalkPath path = pt_.walk(walk.vpn);
+    for (unsigned level = 0; level < path.levels; ++level) {
+        BatchRef ref;
+        ref.line = lineAddrOf(path.entryAddrs[level]);
+        if (level + 1 == path.levels)
+            ref.finishing.push_back(0);
+        batch->levels.push_back({std::move(ref)});
+    }
+    batch->walks.push_back(std::move(walk));
+    ++inFlight_;
+    walkerBusy_[w] = true;
+    stepLevel(w, std::move(batch), now);
+}
+
+void
+PageWalkers::startScheduledBatch(unsigned w, Cycle now)
+{
+    GPUMMU_ASSERT(!queue_.empty());
+    batches_.inc();
+    auto batch = std::make_shared<ActiveBatch>();
+
+    // Snapshot every queued walk into this batch (the MSHR scan).
+    std::vector<WalkPath> paths;
+    while (!queue_.empty()) {
+        batch->walks.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+        paths.push_back(pt_.walk(batch->walks.back().vpn));
+    }
+    inFlight_ += static_cast<unsigned>(batch->walks.size());
+
+    unsigned max_levels = 0;
+    for (const auto &p : paths)
+        max_levels = std::max(max_levels, p.levels);
+
+    for (unsigned level = 0; level < max_levels; ++level) {
+        // Comparator tree: collapse exact repeats, and issue
+        // same-line entries back to back so the later ones hit the
+        // walk cache or the L2 line just fetched (Figs. 8-9).
+        std::map<PhysAddr,
+                 std::map<PhysAddr, std::vector<std::size_t>>>
+            lines;
+        unsigned raw_refs = 0;
+        for (std::size_t i = 0; i < paths.size(); ++i) {
+            if (level >= paths[i].levels)
+                continue;
+            ++raw_refs;
+            const PhysAddr addr = paths[i].entryAddrs[level];
+            auto &finishers = lines[lineAddrOf(addr)][addr];
+            if (level + 1 == paths[i].levels)
+                finishers.push_back(i);
+        }
+        unsigned issued = 0;
+        std::vector<BatchRef> level_refs;
+        for (auto &[line, addrs] : lines) {
+            for (auto &[addr, finishers] : addrs) {
+                (void)addr;
+                BatchRef ref;
+                ref.line = line;
+                ref.finishing = std::move(finishers);
+                level_refs.push_back(std::move(ref));
+                ++issued;
+            }
+        }
+        batch->levels.push_back(std::move(level_refs));
+        GPUMMU_ASSERT(raw_refs >= issued);
+        refsEliminated_.inc(raw_refs - issued);
+    }
+
+    walkerBusy_[w] = true;
+    stepLevel(w, std::move(batch), now);
+}
+
+void
+PageWalkers::stepLevel(unsigned w, std::shared_ptr<ActiveBatch> batch,
+                       Cycle now)
+{
+    // One event per radix level: a level's references pipeline at
+    // the port rate, the next level waits for this one (the pointer
+    // chase). Requests enter the shared memory system near the
+    // current simulated cycle; computing the whole batch's
+    // timestamps up front would reserve L2/DRAM bandwidth far into
+    // the future and distort every other client's latency.
+    if (batch->nextLevel >= batch->levels.size()) {
+        walkerBusy_[w] = false;
+        pump(now);
+        return;
+    }
+    const auto &level = batch->levels[batch->nextLevel++];
+    Cycle level_end = now;
+    for (const BatchRef &ref : level) {
+        const Cycle ready = walkRef(ref.line, now);
+        level_end = std::max(level_end, ready);
+        for (std::size_t idx : ref.finishing) {
+            const PendingWalk &walk = batch->walks[idx];
+            walks_.inc();
+            walkLatency_.sample(ready - walk.enqueued);
+            eq_.schedule(ready, [this, vpn = walk.vpn,
+                                 done = walk.done, ready]() {
+                GPUMMU_ASSERT(inFlight_ > 0);
+                --inFlight_;
+                done(vpn, ready);
+            });
+        }
+    }
+    eq_.schedule(level_end, [this, w, batch = std::move(batch),
+                             level_end]() mutable {
+        stepLevel(w, std::move(batch), level_end);
+    });
+}
+
+void
+PageWalkers::regStats(StatRegistry &reg, const std::string &prefix)
+{
+    reg.addCounter(prefix + ".walks", &walks_);
+    reg.addCounter(prefix + ".refs_issued", &refsIssued_);
+    reg.addCounter(prefix + ".refs_eliminated", &refsEliminated_);
+    reg.addCounter(prefix + ".batches", &batches_);
+    reg.addCounter(prefix + ".pwc_hits", &pwcHits_);
+    reg.addHistogram(prefix + ".walk_latency", &walkLatency_);
+}
+
+} // namespace gpummu

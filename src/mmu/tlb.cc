@@ -1,0 +1,82 @@
+#include "mmu/tlb.hh"
+
+namespace gpummu {
+
+Tlb::Tlb(const TlbConfig &cfg)
+    : cfg_(cfg), array_(cfg.entries, cfg.ways)
+{
+    GPUMMU_ASSERT(cfg.ports >= 1);
+    GPUMMU_ASSERT(cfg.historyLength <= 4);
+}
+
+Tlb::LookupResult
+Tlb::lookup(Vpn vpn, int warp_id, bool record)
+{
+    if (record)
+        accesses_.inc();
+    auto res = array_.lookup(vpn);
+    LookupResult out;
+    if (!res.hit)
+        return out;
+
+    if (record)
+        hits_.inc();
+    out.hit = true;
+    out.depth = res.depth;
+    out.ppn = res.payload->ppn;
+    out.isLarge = res.payload->isLarge;
+    out.history = res.payload->warpHistory;
+    out.historyUsed = res.payload->historyUsed;
+
+    // Record this warp in the entry's history (most recent first),
+    // dropping the oldest when full. Duplicate of the head is not
+    // re-pushed to keep the history informative.
+    if (cfg_.historyLength > 0 && warp_id >= 0 &&
+        (res.payload->historyUsed == 0 ||
+         res.payload->warpHistory[0] != warp_id)) {
+        auto &h = res.payload->warpHistory;
+        const unsigned len = std::min<unsigned>(cfg_.historyLength,
+                                                h.size());
+        for (unsigned i = len - 1; i > 0; --i)
+            h[i] = h[i - 1];
+        h[0] = warp_id;
+        if (res.payload->historyUsed < len)
+            ++res.payload->historyUsed;
+    }
+    return out;
+}
+
+bool
+Tlb::probe(Vpn vpn) const
+{
+    return array_.peek(vpn) != nullptr;
+}
+
+void
+Tlb::fill(Vpn vpn, const Translation &t, int alloc_warp)
+{
+    TlbEntryInfo info;
+    info.ppn = t.ppn;
+    info.isLarge = t.isLarge;
+    info.allocWarp = alloc_warp;
+    auto victim = array_.insert(vpn, info);
+    if (victim && onEvict_)
+        onEvict_(victim->tag, victim->payload.allocWarp);
+}
+
+void
+Tlb::flush()
+{
+    flushes_.inc();
+    array_.flush();
+}
+
+void
+Tlb::regStats(StatRegistry &reg, const std::string &prefix)
+{
+    reg.addCounter(prefix + ".accesses", &accesses_);
+    reg.addCounter(prefix + ".hits", &hits_);
+    reg.addCounter(prefix + ".flushes", &flushes_);
+}
+
+} // namespace gpummu

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Cache-conscious wavefront scheduling (CCWS) and its TLB-aware
+ * variants from the paper.
+ *
+ * CCWS (Rogers et al., MICRO 2012; Section 7.1 of the paper): each
+ * warp owns a small victim tag array (VTA) of cache line tags it
+ * recently lost from the L1. A miss that hits the warp's own VTA
+ * means intra-warp locality was destroyed by inter-warp interference;
+ * the lost-locality scoring (LLS) logic bumps that warp's score. When
+ * the total score passes a cutoff, only the highest-scoring warps may
+ * issue memory instructions, shrinking the set of overlapping warps
+ * until reuse returns. Scores decay over time so throttling adapts.
+ *
+ * TA-CCWS (Section 7.2): identical, but a VTA hit whose instruction
+ * also TLB-missed is weighted `tlbMissWeight` times heavier (the
+ * paper explores 1:1, 2:1, 4:1, 8:1).
+ *
+ * TCWS (Section 7.2): replaces the cache-line VTAs with *TLB* victim
+ * tag arrays holding page tags (half the hardware), probed on TLB
+ * misses; additionally, TLB hits feed the score weighted by the LRU
+ * depth of the hit (deeper hit = entry closer to eviction), keeping
+ * scheduling decisions frequent. Paper's best weights: LRU(1,2,4,8).
+ */
+
+#ifndef SCHED_CCWS_HH
+#define SCHED_CCWS_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "mem/set_assoc.hh"
+#include "sched/warp_scheduler.hh"
+
+namespace gpummu {
+
+struct CcwsConfig
+{
+    unsigned numWarps = 48;
+    unsigned vtaEntriesPerWarp = 16; ///< paper: 16-entry, 8-way
+    unsigned vtaWays = 8;
+    /** Score added on a VTA hit. */
+    std::uint64_t vtaHitScore = 128;
+    /** Per-warp score saturation (keeps one hot warp from owning
+     *  the whole cutoff budget). */
+    std::uint64_t scoreCap = 512;
+    /** Total-score cutoff that triggers throttling. */
+    std::uint64_t cutoff = 640;
+    /** Never throttle below this many memory-eligible warps. */
+    unsigned minAllowed = 6;
+    /** Exponential score half-life in cycles. */
+    Cycle halfLife = 4096;
+    /** Recompute the allowed set at most this often. */
+    Cycle updateInterval = 128;
+    /** TA-CCWS: extra weight for VTA hits under a TLB miss (1 = off). */
+    unsigned tlbMissWeight = 1;
+};
+
+/** CCWS / TA-CCWS (TA-CCWS is CCWS with tlbMissWeight > 1). */
+class Ccws : public WarpScheduler
+{
+  public:
+    explicit Ccws(const CcwsConfig &cfg);
+
+    std::string name() const override
+    {
+        return cfg_.tlbMissWeight > 1 ? "ta-ccws" : "ccws";
+    }
+
+    int pick(Cycle now, const std::vector<int> &issuable) override;
+    bool mayIssueMem(int warp_id) override;
+    void onL1Miss(int warp_id, PhysAddr line_addr,
+                  bool tlb_missed) override;
+    void onL1Eviction(PhysAddr line_addr, int alloc_warp) override;
+    void onWarpReset(int warp_id) override;
+    void tick(Cycle now) override;
+    void regStats(StatRegistry &reg, const std::string &prefix) override;
+
+    /** Decayed score of one warp (exposed for tests). */
+    std::uint64_t score(int warp_id) const;
+    std::uint64_t totalScore() const;
+
+  protected:
+    void bump(int warp_id, std::uint64_t amount);
+    void decayTo(Cycle now);
+    void recomputeAllowed();
+
+    CcwsConfig cfg_;
+    LooseRoundRobin rr_;
+    std::vector<std::unique_ptr<SetAssocArray<char>>> vtas_;
+    std::vector<std::uint64_t> scores_;
+    std::vector<bool> allowed_;
+    Cycle lastDecay_ = 0;
+    Cycle lastUpdate_ = 0;
+    bool throttling_ = false;
+
+    Counter vtaHits_;
+    Counter throttledCycles_;
+};
+
+struct TcwsConfig
+{
+    unsigned numWarps = 48;
+    /** Entries per warp in the TLB VTA (paper sweeps 2-16; 8 best). */
+    unsigned vtaEntriesPerWarp = 8;
+    unsigned vtaWays = 8;
+    std::uint64_t vtaHitScore = 128;
+    std::uint64_t scoreCap = 512;
+    std::uint64_t cutoff = 640;
+    unsigned minAllowed = 6;
+    Cycle halfLife = 4096;
+    Cycle updateInterval = 128;
+    /**
+     * Score added per TLB hit, indexed by LRU depth (4-way TLB).
+     * All-zero disables depth weighting (the Fig. 17 configuration);
+     * the paper's best is {1, 2, 4, 8} (Fig. 18).
+     */
+    std::array<std::uint64_t, 4> lruWeights{0, 0, 0, 0};
+};
+
+/** TLB-conscious warp scheduling. */
+class Tcws : public WarpScheduler
+{
+  public:
+    explicit Tcws(const TcwsConfig &cfg);
+
+    std::string name() const override { return "tcws"; }
+
+    int pick(Cycle now, const std::vector<int> &issuable) override;
+    bool mayIssueMem(int warp_id) override;
+    void onTlbMiss(int warp_id, Vpn vpn) override;
+    void onTlbHit(int warp_id, Vpn vpn, unsigned depth) override;
+    void onTlbEviction(Vpn vpn, int alloc_warp) override;
+    void onWarpReset(int warp_id) override;
+    void tick(Cycle now) override;
+    void regStats(StatRegistry &reg, const std::string &prefix) override;
+
+    std::uint64_t score(int warp_id) const;
+    std::uint64_t totalScore() const;
+
+  private:
+    void bump(int warp_id, std::uint64_t amount);
+    void decayTo(Cycle now);
+    void recomputeAllowed();
+
+    TcwsConfig cfg_;
+    LooseRoundRobin rr_;
+    std::vector<std::unique_ptr<SetAssocArray<char>>> vtas_;
+    std::vector<std::uint64_t> scores_;
+    std::vector<bool> allowed_;
+    Cycle lastDecay_ = 0;
+    Cycle lastUpdate_ = 0;
+    bool throttling_ = false;
+
+    Counter vtaHits_;
+    Counter throttledCycles_;
+};
+
+} // namespace gpummu
+
+#endif // SCHED_CCWS_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A minimal discrete event queue.
+ *
+ * Cores tick cycle by cycle; latency through the memory system is
+ * modelled with completion events. Events scheduled for the same
+ * cycle fire in scheduling order (a monotonic sequence number breaks
+ * ties) so simulation stays deterministic.
+ */
+
+#ifndef SIM_EVENT_QUEUE_HH
+#define SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace gpummu {
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule cb to run at cycle when (must not be in the past). */
+    void
+    schedule(Cycle when, Callback cb)
+    {
+        GPUMMU_ASSERT(when >= now_, "scheduling into the past");
+        heap_.push(Event{when, nextSeq_++, std::move(cb)});
+    }
+
+    /** Current simulated cycle (last serviced time). */
+    Cycle now() const { return now_; }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Cycle of the earliest pending event; kCycleNever when empty. */
+    Cycle
+    nextEventCycle() const
+    {
+        return heap_.empty() ? kCycleNever : heap_.top().when;
+    }
+
+    /**
+     * Run every event scheduled at or before cycle `upto`, advancing
+     * now() to `upto`.
+     */
+    void
+    runUntil(Cycle upto)
+    {
+        GPUMMU_ASSERT(upto >= now_);
+        while (!heap_.empty() && heap_.top().when <= upto) {
+            // Move the callback out before popping; the callback may
+            // schedule new events.
+            Event ev = heap_.top();
+            heap_.pop();
+            now_ = ev.when;
+            ev.cb();
+        }
+        now_ = upto;
+    }
+
+    /** Drop all pending events and reset time (tests only). */
+    void
+    clear()
+    {
+        heap_ = {};
+        now_ = 0;
+        nextSeq_ = 0;
+    }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Event &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    Cycle now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace gpummu
+
+#endif // SIM_EVENT_QUEUE_HH

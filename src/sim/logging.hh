@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Error and status reporting helpers in the gem5 spirit.
+ *
+ * panic()  - an internal invariant was violated (a simulator bug);
+ *            aborts so a debugger or core dump can catch it.
+ * fatal()  - the user asked for something unsupportable (bad
+ *            configuration); exits with an error code.
+ * warn()   - questionable but survivable condition.
+ * inform() - plain status output.
+ */
+
+#ifndef SIM_LOGGING_HH
+#define SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace gpummu {
+
+namespace detail {
+
+/** Stringify a parameter pack via an ostringstream. */
+template <typename... Args>
+std::string
+formatParts(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort on a simulator bug. Never returns. */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *file, int line, Args &&...args)
+{
+    detail::panicImpl(file, line,
+                      detail::formatParts(std::forward<Args>(args)...));
+}
+
+/** Exit on a user/configuration error. Never returns. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *file, int line, Args &&...args)
+{
+    detail::fatalImpl(file, line,
+                      detail::formatParts(std::forward<Args>(args)...));
+}
+
+/** Print a warning and continue. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::formatParts(std::forward<Args>(args)...));
+}
+
+/** Print a status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::formatParts(std::forward<Args>(args)...));
+}
+
+} // namespace gpummu
+
+#define GPUMMU_PANIC(...) ::gpummu::panic(__FILE__, __LINE__, __VA_ARGS__)
+#define GPUMMU_FATAL(...) ::gpummu::fatal(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Cheap always-on invariant check; panics with the condition text. */
+#define GPUMMU_ASSERT(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::gpummu::panic(__FILE__, __LINE__, "assertion failed: " #cond  \
+                            " ", ##__VA_ARGS__);                            \
+        }                                                                   \
+    } while (0)
+
+#endif // SIM_LOGGING_HH

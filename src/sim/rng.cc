@@ -1,0 +1,51 @@
+#include "sim/rng.hh"
+
+#include <cmath>
+
+namespace gpummu {
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double exponent)
+    : n_(n), s_(exponent)
+{
+    GPUMMU_ASSERT(n >= 1);
+    GPUMMU_ASSERT(exponent >= 0.0 && exponent != 1.0,
+                  "exponent 1.0 needs the log special case; use ~0.99");
+    hx0_ = h(0.5) - 1.0;
+    hn_ = h(static_cast<double>(n_) + 0.5);
+}
+
+double
+ZipfSampler::h(double x) const
+{
+    // Integral of x^-s: x^(1-s) / (1-s).
+    return std::pow(x, 1.0 - s_) / (1.0 - s_);
+}
+
+double
+ZipfSampler::hInv(double x) const
+{
+    return std::pow((1.0 - s_) * x, 1.0 / (1.0 - s_));
+}
+
+std::uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    // Rejection-inversion (Hormann & Derflinger 1996). Expected
+    // iterations per sample is close to 1 for the exponents we use.
+    while (true) {
+        const double u = hn_ + rng.uniform() * (hx0_ - hn_);
+        const double x = hInv(u);
+        std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+        if (k < 1)
+            k = 1;
+        if (k > n_)
+            k = n_;
+        const double kd = static_cast<double>(k);
+        if (kd - x <= hx0_ ||
+            u >= h(kd + 0.5) - std::pow(kd, -s_)) {
+            return k - 1;
+        }
+    }
+}
+
+} // namespace gpummu

@@ -1,0 +1,128 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace gpummu {
+
+Histogram::Histogram(std::uint64_t bucket_width, std::size_t num_buckets)
+    : bucketWidth_(bucket_width)
+{
+    if (bucket_width > 0)
+        buckets_.assign(num_buckets + 1, 0);
+}
+
+void
+Histogram::sample(std::uint64_t v, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    count_ += count;
+    sum_ += v * count;
+    if (bucketWidth_ > 0) {
+        std::size_t idx = static_cast<std::size_t>(v / bucketWidth_);
+        if (idx >= buckets_.size())
+            idx = buckets_.size() - 1;
+        buckets_[idx] += count;
+    }
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+}
+
+void
+Histogram::reset()
+{
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+void
+StatRegistry::addCounter(const std::string &name, Counter *c)
+{
+    GPUMMU_ASSERT(c != nullptr);
+    auto [it, inserted] = counters_.emplace(name, c);
+    (void)it;
+    GPUMMU_ASSERT(inserted, "duplicate counter name: ", name);
+}
+
+void
+StatRegistry::addScalar(const std::string &name, ScalarStat *s)
+{
+    GPUMMU_ASSERT(s != nullptr);
+    auto [it, inserted] = scalars_.emplace(name, s);
+    (void)it;
+    GPUMMU_ASSERT(inserted, "duplicate scalar name: ", name);
+}
+
+void
+StatRegistry::addHistogram(const std::string &name, Histogram *h)
+{
+    GPUMMU_ASSERT(h != nullptr);
+    auto [it, inserted] = histograms_.emplace(name, h);
+    (void)it;
+    GPUMMU_ASSERT(inserted, "duplicate histogram name: ", name);
+}
+
+Counter *
+StatRegistry::findCounter(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : it->second;
+}
+
+ScalarStat *
+StatRegistry::findScalar(const std::string &name) const
+{
+    auto it = scalars_.find(name);
+    return it == scalars_.end() ? nullptr : it->second;
+}
+
+Histogram *
+StatRegistry::findHistogram(const std::string &name) const
+{
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : it->second;
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, s] : scalars_)
+        s->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[name, c] : counters_)
+        os << name << " " << c->value() << "\n";
+    for (const auto &[name, s] : scalars_)
+        os << name << " " << s->value() << "\n";
+    for (const auto &[name, h] : histograms_) {
+        os << name << ".count " << h->count() << "\n";
+        os << name << ".mean " << h->mean() << "\n";
+        os << name << ".min " << h->min() << "\n";
+        os << name << ".max " << h->max() << "\n";
+    }
+}
+
+} // namespace gpummu

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every simulator module.
+ */
+
+#ifndef SIM_TYPES_HH
+#define SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace gpummu {
+
+/** Simulated clock cycle. The whole GPU runs in one clock domain. */
+using Cycle = std::uint64_t;
+
+/** A virtual byte address in the unified CPU/GPU address space. */
+using VirtAddr = std::uint64_t;
+
+/** A physical byte address. */
+using PhysAddr = std::uint64_t;
+
+/** Virtual page number (virtual address >> page shift). */
+using Vpn = std::uint64_t;
+
+/** Physical page (frame) number. */
+using Ppn = std::uint64_t;
+
+/** Sentinel for "no cycle scheduled / never". */
+inline constexpr Cycle kCycleNever = ~Cycle(0);
+
+/** Default small page parameters (x86-64 4KB pages). */
+inline constexpr unsigned kPageShift4K = 12;
+inline constexpr std::uint64_t kPageSize4K = 1ULL << kPageShift4K;
+
+/** Large page parameters (x86-64 2MB pages). */
+inline constexpr unsigned kPageShift2M = 21;
+inline constexpr std::uint64_t kPageSize2M = 1ULL << kPageShift2M;
+
+} // namespace gpummu
+
+#endif // SIM_TYPES_HH

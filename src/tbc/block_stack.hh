@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Block-wide reconvergence stack for thread block compaction.
+ *
+ * Same IPDOM discipline as the per-warp SimtStack, but masks cover
+ * every thread of a thread block and there is no per-entry program
+ * counter: the dynamic warps of the active entry each track their own
+ * instruction index, and the entry advances only when all of them
+ * synchronize at the terminator.
+ */
+
+#ifndef TBC_BLOCK_STACK_HH
+#define TBC_BLOCK_STACK_HH
+
+#include <vector>
+
+#include "sim/logging.hh"
+#include "tbc/compactor.hh"
+
+namespace gpummu {
+
+struct BlockStackEntry
+{
+    int block = 0;
+    BlockMask mask;
+    /** Pop when the entry would execute this block; -1 never. */
+    int popAt = -1;
+};
+
+class BlockStack
+{
+  public:
+    void
+    reset(int entry_block, const BlockMask &mask)
+    {
+        entries_.clear();
+        entries_.push_back(BlockStackEntry{entry_block, mask, -1});
+    }
+
+    bool empty() const { return entries_.empty(); }
+    std::size_t depth() const { return entries_.size(); }
+
+    BlockStackEntry &
+    top()
+    {
+        GPUMMU_ASSERT(!entries_.empty());
+        return entries_.back();
+    }
+
+    const BlockStackEntry &
+    top() const
+    {
+        GPUMMU_ASSERT(!entries_.empty());
+        return entries_.back();
+    }
+
+    /** Pop entries that reached reconvergence or emptied. */
+    void
+    reconverge()
+    {
+        while (!entries_.empty()) {
+            const auto &t = entries_.back();
+            if (t.mask.none() ||
+                (t.popAt >= 0 && t.block == t.popAt)) {
+                entries_.pop_back();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /** @return true when the branch diverged. */
+    bool
+    branch(const BlockMask &taken_mask, const BlockMask &fall_mask,
+           int taken_block, int fall_block, int reconv_block)
+    {
+        auto &t = top();
+        if (fall_mask.none()) {
+            t.block = taken_block;
+            return false;
+        }
+        if (taken_mask.none()) {
+            t.block = fall_block;
+            return false;
+        }
+        t.block = reconv_block;
+        entries_.push_back(
+            BlockStackEntry{fall_block, fall_mask, reconv_block});
+        entries_.push_back(
+            BlockStackEntry{taken_block, taken_mask, reconv_block});
+        return true;
+    }
+
+    /** Remove exited threads from every entry. */
+    void
+    clearThreads(const BlockMask &threads)
+    {
+        for (auto &e : entries_)
+            e.mask &= ~threads;
+    }
+
+    const std::vector<BlockStackEntry> &entries() const
+    {
+        return entries_;
+    }
+
+  private:
+    std::vector<BlockStackEntry> entries_;
+};
+
+} // namespace gpummu
+
+#endif // TBC_BLOCK_STACK_HH

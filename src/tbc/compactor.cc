@@ -1,0 +1,80 @@
+#include "tbc/compactor.hh"
+
+#include <algorithm>
+#include <deque>
+
+namespace gpummu {
+
+std::vector<CompactedWarp>
+compactThreads(const BlockMask &mask, unsigned num_threads,
+               const CommonPageMatrix *cpm, int warp_base)
+{
+    // Per-lane candidate queues in thread order (the priority
+    // encoder's input buffers).
+    std::array<std::deque<int>, kWarpWidth> lanes;
+    for (unsigned t = 0; t < num_threads; ++t) {
+        if (mask.test(t))
+            lanes[t % kWarpWidth].push_back(static_cast<int>(t));
+    }
+
+    auto origin_of = [warp_base](int tid) {
+        return warp_base + tid / static_cast<int>(kWarpWidth);
+    };
+
+    std::vector<CompactedWarp> out;
+    auto any_left = [&lanes]() {
+        return std::any_of(lanes.begin(), lanes.end(),
+                           [](const auto &q) { return !q.empty(); });
+    };
+
+    while (any_left()) {
+        CompactedWarp warp;
+        // Original warps already admitted to this dynamic warp.
+        std::vector<int> members;
+
+        for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+            auto &q = lanes[lane];
+            if (q.empty())
+                continue;
+            if (cpm == nullptr) {
+                // Baseline TBC: strict priority encoder order.
+                warp.laneThread[lane] = q.front();
+                q.pop_front();
+                continue;
+            }
+            // TLB-aware admission: first candidate whose original
+            // warp is CPM-affine with every member so far. Seed the
+            // warp unconditionally so progress is guaranteed.
+            auto compatible = [&](int tid) {
+                const int orig = origin_of(tid);
+                return std::all_of(members.begin(), members.end(),
+                                   [&](int m) {
+                                       return cpm->isAffine(orig, m);
+                                   });
+            };
+            int chosen = -1;
+            for (std::size_t i = 0; i < q.size(); ++i) {
+                if (members.empty() || compatible(q[i])) {
+                    chosen = static_cast<int>(i);
+                    break;
+                }
+            }
+            if (chosen < 0)
+                continue; // lane stays idle in this dynamic warp
+            const int tid = q[static_cast<std::size_t>(chosen)];
+            q.erase(q.begin() + chosen);
+            warp.laneThread[lane] = tid;
+            const int orig = origin_of(tid);
+            if (std::find(members.begin(), members.end(), orig) ==
+                members.end()) {
+                members.push_back(orig);
+            }
+        }
+        GPUMMU_ASSERT(warp.activeLanes() > 0,
+                      "compactor produced an empty warp");
+        out.push_back(warp);
+    }
+    return out;
+}
+
+} // namespace gpummu

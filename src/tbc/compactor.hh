@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Lane-aware thread compactor (Fung & Aamodt's TBC hardware, plus the
+ * paper's TLB-aware admission rule).
+ *
+ * Threads keep their SIMD lane (register file bank) when compacted,
+ * so dynamic warp i takes, for every lane, the i-th available thread
+ * of that lane. The TLB-aware variant only packs a thread alongside
+ * threads whose original warps are CPM-affine, opening a new dynamic
+ * warp otherwise - possibly executing more warps but with lower page
+ * divergence (Fig. 19).
+ */
+
+#ifndef TBC_COMPACTOR_HH
+#define TBC_COMPACTOR_HH
+
+#include <array>
+#include <bitset>
+#include <vector>
+
+#include "gpu/simt_stack.hh"
+#include "tbc/cpm.hh"
+
+namespace gpummu {
+
+/** Maximum threads per block supported by the TBC machinery. */
+inline constexpr unsigned kMaxBlockThreads = 1024;
+
+using BlockMask = std::bitset<kMaxBlockThreads>;
+
+/** One compacted dynamic warp: per-lane thread index within the
+ *  block, -1 for an idle lane. */
+struct CompactedWarp
+{
+    std::array<int, kWarpWidth> laneThread;
+
+    CompactedWarp() { laneThread.fill(-1); }
+
+    unsigned
+    activeLanes() const
+    {
+        unsigned n = 0;
+        for (int t : laneThread)
+            n += (t >= 0);
+        return n;
+    }
+};
+
+/**
+ * Compact the active threads of @p mask into dynamic warps.
+ *
+ * @param mask        block-wide active mask (bit = thread-in-block)
+ * @param num_threads threads in the block
+ * @param cpm         when non-null, apply the TLB-aware admission
+ *                    rule using original warp ids
+ * @param warp_base   core-level id of the block's first static warp
+ *                    (original warp id = warp_base + tid/32)
+ */
+std::vector<CompactedWarp>
+compactThreads(const BlockMask &mask, unsigned num_threads,
+               const CommonPageMatrix *cpm, int warp_base);
+
+} // namespace gpummu
+
+#endif // TBC_COMPACTOR_HH

@@ -1,0 +1,415 @@
+#include "tbc/tbc_core.hh"
+
+#include <algorithm>
+
+namespace gpummu {
+
+TbcCore::TbcCore(int core_id, const CoreConfig &cfg,
+                 const TbcConfig &tbc, const LaunchParams &launch,
+                 AddressSpace &as, MemorySystem &mem, EventQueue &eq)
+    : coreId_(core_id), cfg_(cfg), tbcCfg_(tbc), launch_(launch),
+      eq_(eq), l1_(cfg.l1, mem), mmu_(cfg.mmu, as, mem, eq),
+      memStage_(mmu_, l1_, eq), cpm_(tbc.cpm), warpOccupancy_(1, 33)
+{
+    GPUMMU_ASSERT(launch.program != nullptr);
+    GPUMMU_ASSERT(launch.threadsPerBlock % kWarpWidth == 0);
+    GPUMMU_ASSERT(launch.threadsPerBlock <= kMaxBlockThreads);
+    blocks_.resize(cfg.numWarpSlots / warpsPerBlock());
+
+    // Scheduler ids encode (block slot, warp index); size the round
+    // robin over the full encoded space.
+    setScheduler(std::make_unique<LooseRoundRobin>(
+        static_cast<unsigned>(blocks_.size()) * kSchedStride));
+
+    // CPM learning: every TLB hit reports the entry's recent original
+    // warps; saturating counters track which warps share PTEs.
+    memStage_.setTlbHitHistoryHook(
+        [this](int warp, Vpn vpn, const std::array<int, 4> &hist,
+               unsigned used) {
+            (void)vpn;
+            for (unsigned i = 0; i < used && i < hist.size(); ++i)
+                cpm_.bump(warp, hist[i]);
+        });
+}
+
+void
+TbcCore::setScheduler(std::unique_ptr<WarpScheduler> sched)
+{
+    sched_ = std::move(sched);
+    memStage_.setScheduler(sched_.get());
+    l1_.setEvictionListener([this](PhysAddr line, int warp) {
+        if (sched_)
+            sched_->onL1Eviction(line, warp);
+    });
+    mmu_.tlb().setEvictionListener([this](Vpn vpn, int warp) {
+        if (sched_)
+            sched_->onTlbEviction(vpn, warp);
+    });
+}
+
+unsigned
+TbcCore::warpsPerBlock() const
+{
+    return launch_.threadsPerBlock / kWarpWidth;
+}
+
+bool
+TbcCore::canAcceptBlock() const
+{
+    return std::any_of(blocks_.begin(), blocks_.end(),
+                       [](const TbcBlock &b) { return !b.valid; });
+}
+
+void
+TbcCore::launchBlock(unsigned global_block_id)
+{
+    auto it = std::find_if(blocks_.begin(), blocks_.end(),
+                           [](const TbcBlock &b) { return !b.valid; });
+    GPUMMU_ASSERT(it != blocks_.end());
+    TbcBlock &blk = *it;
+    const int slot = static_cast<int>(it - blocks_.begin());
+
+    blk.valid = true;
+    blk.globalId = global_block_id;
+    blk.threadsLive = launch_.threadsPerBlock;
+    blk.warpBase = slot * static_cast<int>(warpsPerBlock());
+    blk.threads.clear();
+    blk.threads.reserve(launch_.threadsPerBlock);
+    const unsigned tpb = launch_.threadsPerBlock;
+    for (unsigned t = 0; t < tpb; ++t) {
+        ThreadCtx ctx(static_cast<int>(global_block_id * tpb + t),
+                      static_cast<int>(global_block_id),
+                      static_cast<int>(t), kWarpWidth, launch_.seed);
+        ctx.blockVisits.assign(launch_.program->numBlocks(), 0);
+        blk.threads.push_back(std::move(ctx));
+    }
+
+    BlockMask full;
+    for (unsigned t = 0; t < tpb; ++t)
+        full.set(t);
+    blk.stack.reset(0, full);
+    blk.warps.clear();
+    blk.warpsDone = 0;
+    blk.takenAcc.reset();
+    blk.fallAcc.reset();
+    blk.exitAcc.reset();
+    ++liveBlocks_;
+    // De-phase blocks so their barrier bursts do not convoy: blocks
+    // launched in the same cycle would otherwise stay phase-locked,
+    // hammering the memory system in lockstep.
+    const Cycle phase = static_cast<Cycle>(coreId_) * 61 +
+                        static_cast<Cycle>(slot) * 173;
+    activateTop(blk, phase);
+}
+
+void
+TbcCore::activateTop(TbcBlock &blk, Cycle now)
+{
+    blk.stack.reconverge();
+    if (blk.stack.empty() || blk.threadsLive == 0) {
+        blk.valid = false;
+        blocksCompleted_.inc();
+        GPUMMU_ASSERT(liveBlocks_ > 0);
+        --liveBlocks_;
+        return;
+    }
+
+    const auto &top = blk.stack.top();
+    compactions_.inc();
+    auto packed = compactThreads(top.mask, launch_.threadsPerBlock,
+                                 tbcCfg_.tlbAware ? &cpm_ : nullptr,
+                                 blk.warpBase);
+    blk.warps.clear();
+    blk.warps.reserve(packed.size());
+    for (const auto &cw : packed) {
+        DynWarp dw;
+        dw.laneThread = cw.laneThread;
+        dw.instIdx = 0;
+        dw.state = WarpState::Ready;
+        // Stagger release through fetch/decode so a block-wide
+        // barrier does not dump every warp's memory burst into the
+        // same cycle.
+        dw.readyAt = now + 1 + 2 * static_cast<Cycle>(blk.warps.size());
+        dw.done = false;
+        dw.pendingLoads = 0;
+        dw.loadsReadyAt = 0;
+        dw.waitingAtTerminator = false;
+        for (int t : cw.laneThread) {
+            if (t >= 0) {
+                dw.originRep =
+                    blk.warpBase + t / static_cast<int>(kWarpWidth);
+                break;
+            }
+        }
+        dynWarps_.inc();
+        warpOccupancy_.sample(cw.activeLanes());
+        blk.warps.push_back(std::move(dw));
+    }
+    blk.warpsDone = 0;
+    blk.takenAcc.reset();
+    blk.fallAcc.reset();
+    blk.exitAcc.reset();
+
+    // Block-entry bookkeeping: bump visit counters once per thread.
+    for (unsigned t = 0; t < launch_.threadsPerBlock; ++t) {
+        if (top.mask.test(t)) {
+            ++blk.threads[t].blockVisits[static_cast<std::size_t>(
+                top.block)];
+        }
+    }
+}
+
+const Instruction *
+TbcCore::currentInstr(const TbcBlock &blk, const DynWarp &w) const
+{
+    const auto &bb = launch_.program->block(blk.stack.top().block);
+    GPUMMU_ASSERT(w.instIdx < static_cast<int>(bb.instrs.size()));
+    return &bb.instrs[static_cast<std::size_t>(w.instIdx)];
+}
+
+void
+TbcCore::resolveEntry(int blk_slot, Cycle now)
+{
+    TbcBlock &blk = blocks_[static_cast<std::size_t>(blk_slot)];
+    const auto &bb = launch_.program->block(blk.stack.top().block);
+    const Instruction &term = bb.instrs.back();
+
+    if (term.op == Opcode::Exit) {
+        const unsigned exiting =
+            static_cast<unsigned>(blk.exitAcc.count());
+        GPUMMU_ASSERT(blk.threadsLive >= exiting);
+        blk.threadsLive -= exiting;
+        blk.stack.clearThreads(blk.exitAcc);
+    } else {
+        GPUMMU_ASSERT(term.op == Opcode::Branch);
+        if (blk.stack.branch(blk.takenAcc, blk.fallAcc,
+                             term.takenBlock, term.fallBlock,
+                             term.reconvBlock)) {
+            divergentBranches_.inc();
+        }
+    }
+    activateTop(blk, now);
+}
+
+void
+TbcCore::issueWarp(int blk_slot, int warp_idx, Cycle now)
+{
+    TbcBlock &blk = blocks_[static_cast<std::size_t>(blk_slot)];
+    DynWarp &w = blk.warps[static_cast<std::size_t>(warp_idx)];
+    const Instruction *in = currentInstr(blk, w);
+
+    switch (in->op) {
+      case Opcode::Alu:
+        instrs_.inc();
+        aluInstrs_.inc();
+        ++w.instIdx;
+        w.readyAt = now + cfg_.aluLatency;
+        return;
+
+      case Opcode::Branch: {
+        if (w.pendingLoads > 0) {
+            // Wait for this warp's outstanding loads before the
+            // block-wide sync point.
+            w.waitingAtTerminator = true;
+            w.state = WarpState::WaitingMem;
+            return;
+        }
+        if (w.loadsReadyAt > now) {
+            w.readyAt = w.loadsReadyAt;
+            return;
+        }
+        instrs_.inc();
+        branchInstrs_.inc();
+        for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+            const int tid = w.laneThread[lane];
+            if (tid < 0)
+                continue;
+            if (launch_.program->genCond(in->condGen,
+                                         threadOf(blk, tid))) {
+                blk.takenAcc.set(static_cast<std::size_t>(tid));
+            } else {
+                blk.fallAcc.set(static_cast<std::size_t>(tid));
+            }
+        }
+        w.done = true;
+        w.readyAt = now + 1;
+        if (++blk.warpsDone == blk.warps.size())
+            resolveEntry(blk_slot, now);
+        return;
+      }
+
+      case Opcode::Exit: {
+        if (w.pendingLoads > 0) {
+            w.waitingAtTerminator = true;
+            w.state = WarpState::WaitingMem;
+            return;
+        }
+        if (w.loadsReadyAt > now) {
+            w.readyAt = w.loadsReadyAt;
+            return;
+        }
+        instrs_.inc();
+        for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+            const int tid = w.laneThread[lane];
+            if (tid >= 0)
+                blk.exitAcc.set(static_cast<std::size_t>(tid));
+        }
+        w.done = true;
+        if (++blk.warpsDone == blk.warps.size())
+            resolveEntry(blk_slot, now);
+        return;
+      }
+
+      case Opcode::Load:
+      case Opcode::Store: {
+        if (!w.hasPendingAddrs) {
+            w.pendingAddrs.clear();
+            for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+                const int tid = w.laneThread[lane];
+                if (tid >= 0) {
+                    w.pendingAddrs.push_back(launch_.program->genAddr(
+                        in->addrGen, threadOf(blk, tid)));
+                }
+            }
+            w.hasPendingAddrs = true;
+        }
+        const bool is_store = in->op == Opcode::Store;
+        ++w.pendingLoads;
+        auto result = memStage_.issue(
+            w.originRep, is_store, w.pendingAddrs, now,
+            [this, blk_slot, warp_idx](Cycle ready) {
+                auto &blk2 =
+                    blocks_[static_cast<std::size_t>(blk_slot)];
+                auto &ww =
+                    blk2.warps[static_cast<std::size_t>(warp_idx)];
+                ww.loadsReadyAt = std::max(ww.loadsReadyAt, ready);
+                GPUMMU_ASSERT(ww.pendingLoads > 0);
+                if (--ww.pendingLoads == 0 &&
+                    ww.waitingAtTerminator) {
+                    ww.waitingAtTerminator = false;
+                    ww.state = WarpState::Ready;
+                    ww.readyAt = std::max(ww.loadsReadyAt,
+                                          eq_.now() + 1);
+                }
+            });
+        if (result == MemIssueResult::BlockedTlbBusy) {
+            GPUMMU_ASSERT(w.pendingLoads > 0);
+            --w.pendingLoads;
+            w.state = WarpState::WaitingTlbDrain;
+            mmu_.onDrain([this, blk_slot, warp_idx]() {
+                auto &blk2 =
+                    blocks_[static_cast<std::size_t>(blk_slot)];
+                auto &ww =
+                    blk2.warps[static_cast<std::size_t>(warp_idx)];
+                if (ww.state == WarpState::WaitingTlbDrain) {
+                    ww.state = WarpState::Ready;
+                    ww.readyAt = eq_.now() + 1;
+                }
+            });
+            return;
+        }
+        instrs_.inc();
+        w.hasPendingAddrs = false;
+        ++w.instIdx;
+        // Fire and forget: the warp keeps executing this entry and
+        // synchronizes with its data at the terminator.
+        w.readyAt = now + 2;
+        return;
+      }
+    }
+    GPUMMU_PANIC("unhandled opcode");
+}
+
+void
+TbcCore::tick(Cycle now)
+{
+    if (liveBlocks_ == 0)
+        return;
+    sched_->tick(now);
+    cpm_.tick(now);
+
+    const bool mem_available = mmu_.memAvailable();
+
+    // Encode (block slot, warp index) into one scheduler id.
+    constexpr int kStride = kSchedStride;
+    std::vector<int> issuable;
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+        TbcBlock &blk = blocks_[b];
+        if (!blk.valid)
+            continue;
+        for (std::size_t i = 0; i < blk.warps.size(); ++i) {
+            DynWarp &w = blk.warps[i];
+            if (w.done || w.state != WarpState::Ready ||
+                w.readyAt > now)
+                continue;
+            const Instruction *in = currentInstr(blk, w);
+            const bool is_mem = in->op == Opcode::Load ||
+                                in->op == Opcode::Store;
+            if (is_mem) {
+                if (!mem_available)
+                    continue;
+                if (!sched_->mayIssueMem(w.originRep))
+                    continue;
+            }
+            issuable.push_back(static_cast<int>(b) * kStride +
+                               static_cast<int>(i));
+        }
+    }
+
+    unsigned issued = 0;
+    bool mem_issued = false;
+    while (issued < cfg_.issueWidth && !issuable.empty()) {
+        // LooseRoundRobin over encoded ids approximates the paper's
+        // age-based dynamic warp issue.
+        const int id = sched_->pick(now, issuable);
+        if (id < 0)
+            break;
+        issuable.erase(std::remove(issuable.begin(), issuable.end(),
+                                   id),
+                       issuable.end());
+        const int b = id / kStride;
+        const int i = id % kStride;
+        TbcBlock &blk = blocks_[static_cast<std::size_t>(b)];
+        if (!blk.valid ||
+            i >= static_cast<int>(blk.warps.size()))
+            continue;
+        const Instruction *in =
+            currentInstr(blk, blk.warps[static_cast<std::size_t>(i)]);
+        const bool is_mem =
+            in->op == Opcode::Load || in->op == Opcode::Store;
+        if (is_mem && mem_issued)
+            continue;
+        issueWarp(b, i, now);
+        if (is_mem)
+            mem_issued = true;
+        ++issued;
+    }
+
+    if (issued == 0 && liveBlocks_ > 0) {
+        idleCycles_.inc();
+        if (mmu_.missOutstanding())
+            tlbIdleCycles_.inc();
+    }
+}
+
+void
+TbcCore::regStats(StatRegistry &reg, const std::string &prefix)
+{
+    l1_.regStats(reg, prefix + ".l1");
+    mmu_.regStats(reg, prefix + ".mmu");
+    memStage_.regStats(reg, prefix + ".mem");
+    cpm_.regStats(reg, prefix + ".cpm");
+    reg.addCounter(prefix + ".instrs", &instrs_);
+    reg.addCounter(prefix + ".alu_instrs", &aluInstrs_);
+    reg.addCounter(prefix + ".branch_instrs", &branchInstrs_);
+    reg.addCounter(prefix + ".divergent_branches",
+                   &divergentBranches_);
+    reg.addCounter(prefix + ".idle_cycles", &idleCycles_);
+    reg.addCounter(prefix + ".tlb_idle_cycles", &tlbIdleCycles_);
+    reg.addCounter(prefix + ".blocks_completed", &blocksCompleted_);
+    reg.addCounter(prefix + ".compactions", &compactions_);
+    reg.addCounter(prefix + ".dynamic_warps", &dynWarps_);
+    reg.addHistogram(prefix + ".warp_occupancy", &warpOccupancy_);
+}
+
+} // namespace gpummu

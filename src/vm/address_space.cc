@@ -1,0 +1,46 @@
+#include "vm/address_space.hh"
+
+#include "sim/logging.hh"
+
+namespace gpummu {
+
+AddressSpace::AddressSpace(PhysicalMemory &phys, bool use_large,
+                           VirtAddr base)
+    : phys_(phys), pt_(phys), useLarge_(use_large), next_(base)
+{
+    const std::uint64_t align = use_large ? kPageSize2M : kPageSize4K;
+    next_ = (next_ + align - 1) & ~(align - 1);
+}
+
+VmRegion
+AddressSpace::mmap(const std::string &name, std::uint64_t bytes)
+{
+    GPUMMU_ASSERT(bytes > 0, "mmap of zero bytes: ", name);
+    const std::uint64_t page = useLarge_ ? kPageSize2M : kPageSize4K;
+    const std::uint64_t rounded = (bytes + page - 1) & ~(page - 1);
+
+    VmRegion region;
+    region.name = name;
+    region.base = next_;
+    region.bytes = rounded;
+
+    if (useLarge_) {
+        for (VirtAddr va = region.base; va < region.end();
+             va += kPageSize2M) {
+            pt_.map2M(va >> kPageShift2M, phys_.allocLargeFrame());
+        }
+    } else {
+        for (VirtAddr va = region.base; va < region.end();
+             va += kPageSize4K) {
+            pt_.map4K(va >> kPageShift4K, phys_.allocFrame());
+        }
+    }
+
+    mappedBytes_ += rounded;
+    // Guard page between regions.
+    next_ = region.end() + page;
+    regions_.push_back(region);
+    return region;
+}
+
+} // namespace gpummu

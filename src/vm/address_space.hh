@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Process address space: virtual region allocation over the shared
+ * page table, with eager backing (workloads premap their footprints,
+ * as the paper's do — page faults essentially never fire there).
+ */
+
+#ifndef VM_ADDRESS_SPACE_HH
+#define VM_ADDRESS_SPACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+#include "vm/page_table.hh"
+#include "vm/physical_memory.hh"
+
+namespace gpummu {
+
+/** A named mapped virtual region (one data structure of a workload). */
+struct VmRegion
+{
+    std::string name;
+    VirtAddr base = 0;
+    std::uint64_t bytes = 0;
+
+    VirtAddr end() const { return base + bytes; }
+    bool
+    contains(VirtAddr a) const
+    {
+        return a >= base && a < end();
+    }
+};
+
+class AddressSpace
+{
+  public:
+    /**
+     * @param phys        backing frame allocator
+     * @param use_large   back regions with 2MB pages when true
+     * @param base        first virtual address handed out
+     */
+    AddressSpace(PhysicalMemory &phys, bool use_large = false,
+                 VirtAddr base = 0x10000000ULL);
+
+    /**
+     * Allocate and eagerly back a region. The base is page aligned
+     * (2MB aligned in large-page mode) and regions are separated by a
+     * guard page so workload bugs trip the unmapped-walk assertion.
+     */
+    VmRegion mmap(const std::string &name, std::uint64_t bytes);
+
+    const PageTable &pageTable() const { return pt_; }
+    PageTable &pageTable() { return pt_; }
+
+    bool usesLargePages() const { return useLarge_; }
+
+    const std::vector<VmRegion> &regions() const { return regions_; }
+
+    /** Total bytes mapped so far. */
+    std::uint64_t mappedBytes() const { return mappedBytes_; }
+
+  private:
+    PhysicalMemory &phys_;
+    PageTable pt_;
+    bool useLarge_;
+    VirtAddr next_;
+    std::uint64_t mappedBytes_ = 0;
+    std::vector<VmRegion> regions_;
+};
+
+} // namespace gpummu
+
+#endif // VM_ADDRESS_SPACE_HH

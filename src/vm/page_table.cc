@@ -1,0 +1,124 @@
+#include "vm/page_table.hh"
+
+#include "sim/logging.hh"
+
+namespace gpummu {
+
+PageTable::PageTable(PhysicalMemory &phys) : phys_(phys)
+{
+    // Allocate the root (PML4) table page.
+    tables_.emplace_back();
+    tables_.back().frame = phys_.allocFrame();
+}
+
+PhysAddr
+PageTable::rootAddr() const
+{
+    return tables_.front().frame << kPageShift4K;
+}
+
+PhysAddr
+PageTable::entryAddr(const TablePage &t, unsigned idx) const
+{
+    return (t.frame << kPageShift4K) + idx * 8ULL;
+}
+
+std::size_t
+PageTable::childTable(std::size_t tid, unsigned idx)
+{
+    auto &slot = tables_[tid].slots[idx];
+    if (slot >= 0) {
+        GPUMMU_ASSERT(!tables_[tid].largeLeaf[idx],
+                      "walking through a 2MB leaf");
+        return static_cast<std::size_t>(slot);
+    }
+    tables_.emplace_back();
+    tables_.back().frame = phys_.allocFrame();
+    const std::size_t child = tables_.size() - 1;
+    // Note: emplace_back may have moved tables_, re-index the parent.
+    tables_[tid].slots[idx] = static_cast<std::int64_t>(child);
+    return child;
+}
+
+void
+PageTable::map4K(Vpn vpn, Ppn ppn)
+{
+    std::size_t tid = 0;
+    for (unsigned level = 0; level + 1 < kWalkLevels4K; ++level)
+        tid = childTable(tid, radixIndex(vpn, level));
+    auto &leaf = tables_[tid];
+    const unsigned idx = radixIndex(vpn, kWalkLevels4K - 1);
+    GPUMMU_ASSERT(leaf.slots[idx] < 0, "VPN ", vpn, " already mapped");
+    leaf.slots[idx] = static_cast<std::int64_t>(ppn);
+}
+
+void
+PageTable::map2M(std::uint64_t vpn2m, Ppn base_ppn)
+{
+    GPUMMU_ASSERT((base_ppn & ((kPageSize2M / kPageSize4K) - 1)) == 0,
+                  "2MB mapping needs an aligned frame chunk");
+    // Convert to the 4KB VPN of the first small page in the region to
+    // reuse radixIndex; the PD index is level 2.
+    const Vpn vpn = vpn2m << (kPageShift2M - kPageShift4K);
+    std::size_t tid = 0;
+    for (unsigned level = 0; level < kWalkLevels2M - 1; ++level)
+        tid = childTable(tid, radixIndex(vpn, level));
+    auto &pd = tables_[tid];
+    const unsigned idx = radixIndex(vpn, kWalkLevels2M - 1);
+    GPUMMU_ASSERT(pd.slots[idx] < 0, "2MB VPN ", vpn2m, " already mapped");
+    pd.slots[idx] = static_cast<std::int64_t>(base_ppn);
+    pd.largeLeaf[idx] = true;
+}
+
+std::optional<Translation>
+PageTable::translate(Vpn vpn) const
+{
+    std::size_t tid = 0;
+    for (unsigned level = 0; level < kWalkLevels4K; ++level) {
+        const unsigned idx = radixIndex(vpn, level);
+        const auto &t = tables_[tid];
+        const std::int64_t slot = t.slots[idx];
+        if (slot < 0)
+            return std::nullopt;
+        if (level == kWalkLevels4K - 1)
+            return Translation{static_cast<Ppn>(slot), false};
+        if (t.largeLeaf[idx]) {
+            // 2MB leaf at the PD: add the in-region 4KB offset.
+            const Ppn base = static_cast<Ppn>(slot);
+            const Ppn offset = vpn & ((kPageSize2M / kPageSize4K) - 1);
+            return Translation{base + offset, true};
+        }
+        tid = static_cast<std::size_t>(slot);
+    }
+    return std::nullopt;
+}
+
+WalkPath
+PageTable::walk(Vpn vpn) const
+{
+    WalkPath path;
+    std::size_t tid = 0;
+    for (unsigned level = 0; level < kWalkLevels4K; ++level) {
+        const unsigned idx = radixIndex(vpn, level);
+        const auto &t = tables_[tid];
+        path.entryAddrs[level] = entryAddr(t, idx);
+        path.levels = level + 1;
+        const std::int64_t slot = t.slots[idx];
+        GPUMMU_ASSERT(slot >= 0, "walk on unmapped VPN ", vpn,
+                      " at level ", level);
+        if (level == kWalkLevels4K - 1) {
+            path.result = Translation{static_cast<Ppn>(slot), false};
+            return path;
+        }
+        if (t.largeLeaf[idx]) {
+            const Ppn base = static_cast<Ppn>(slot);
+            const Ppn offset = vpn & ((kPageSize2M / kPageSize4K) - 1);
+            path.result = Translation{base + offset, true};
+            return path;
+        }
+        tid = static_cast<std::size_t>(slot);
+    }
+    GPUMMU_PANIC("unreachable");
+}
+
+} // namespace gpummu

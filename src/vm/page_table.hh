@@ -1,0 +1,128 @@
+/**
+ * @file
+ * x86-64 style four-level radix page table, built for real in
+ * simulated physical memory.
+ *
+ * The walker timing model needs the *physical addresses* touched by
+ * each level of a walk (PML4, PDP, PD, PT), because the paper's PTW
+ * scheduler coalesces concurrent walks whose references repeat or
+ * share 128-byte cache lines. Building an actual radix table makes
+ * that sharing fall out naturally instead of being faked.
+ *
+ * Layout follows the paper's description of x86: 9-bit indices from
+ * virtual address bits 47-39 / 38-30 / 29-21 / 20-12, 8-byte entries,
+ * 512 entries per 4KB table page. 2MB mappings terminate at the PD
+ * level (3 references per walk).
+ */
+
+#ifndef VM_PAGE_TABLE_HH
+#define VM_PAGE_TABLE_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "vm/physical_memory.hh"
+
+namespace gpummu {
+
+/** Number of radix levels for 4KB pages. */
+inline constexpr unsigned kWalkLevels4K = 4;
+/** Number of radix levels for 2MB pages (walk stops at the PD). */
+inline constexpr unsigned kWalkLevels2M = 3;
+
+/** One translation as returned by a completed walk. */
+struct Translation
+{
+    Ppn ppn = 0;
+    bool isLarge = false; ///< 2MB mapping
+};
+
+/**
+ * The per-level physical reference trace of one page table walk,
+ * plus the resulting translation. entryAddrs[0] is the PML4 entry's
+ * physical byte address and so on down the radix.
+ */
+struct WalkPath
+{
+    std::array<PhysAddr, kWalkLevels4K> entryAddrs{};
+    unsigned levels = 0;
+    Translation result;
+};
+
+class PageTable
+{
+  public:
+    explicit PageTable(PhysicalMemory &phys);
+
+    PageTable(const PageTable &) = delete;
+    PageTable &operator=(const PageTable &) = delete;
+
+    /** Map one 4KB virtual page. Remapping an existing VPN is a bug. */
+    void map4K(Vpn vpn, Ppn ppn);
+
+    /**
+     * Map one 2MB virtual page. @p vpn2m is the virtual address
+     * shifted by 21; @p base_ppn must be 2MB aligned (in 4KB frames).
+     */
+    void map2M(std::uint64_t vpn2m, Ppn base_ppn);
+
+    /** Functional translation of a 4KB VPN; nullopt if unmapped. */
+    std::optional<Translation> translate(Vpn vpn) const;
+
+    /**
+     * Full walk trace for the timing model. The VPN is always the
+     * 4KB-granularity VPN; for a 2MB mapping the path has 3 levels.
+     * Panics when the page is unmapped (workloads premap footprints;
+     * demand faults are out of scope, see DESIGN.md).
+     */
+    WalkPath walk(Vpn vpn) const;
+
+    /** Physical byte address of the root (CR3 analogue). */
+    PhysAddr rootAddr() const;
+
+    /** Number of table pages allocated (all levels). */
+    std::uint64_t tablePages() const { return tables_.size(); }
+
+    /** 9-bit radix index for @p level (0 = PML4) of a 4KB VPN. */
+    static unsigned
+    radixIndex(Vpn vpn, unsigned level)
+    {
+        // A 4KB VPN spans virtual address bits 47..12, i.e. 36 bits,
+        // 9 per level. Level 0 (PML4) uses the top 9.
+        const unsigned shift = 9 * (kWalkLevels4K - 1 - level);
+        return static_cast<unsigned>((vpn >> shift) & 0x1ff);
+    }
+
+  private:
+    struct TablePage
+    {
+        /** Child table id or leaf PPN per slot; -1 when not present. */
+        std::array<std::int64_t, 512> slots;
+        /** Slot maps to a 2MB leaf (only meaningful at PD level). */
+        std::array<bool, 512> largeLeaf;
+        Ppn frame; ///< physical frame backing this table page
+
+        TablePage() : frame(0)
+        {
+            slots.fill(-1);
+            largeLeaf.fill(false);
+        }
+    };
+
+    /** Get or create the child table under table @p tid slot @p idx. */
+    std::size_t childTable(std::size_t tid, unsigned idx);
+
+    PhysAddr entryAddr(const TablePage &t, unsigned idx) const;
+
+    PhysicalMemory &phys_;
+    std::vector<TablePage> tables_; ///< index 0 is the root (PML4)
+};
+
+} // namespace gpummu
+
+#endif // VM_PAGE_TABLE_HH

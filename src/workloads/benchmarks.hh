@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Internal constructors for the six benchmark models; use
+ * makeWorkload() from workload.hh instead.
+ */
+
+#ifndef WORKLOADS_BENCHMARKS_HH
+#define WORKLOADS_BENCHMARKS_HH
+
+#include <memory>
+
+#include "workloads/workload.hh"
+
+namespace gpummu {
+
+std::unique_ptr<Workload> makeBfs(const WorkloadParams &p);
+std::unique_ptr<Workload> makeKmeans(const WorkloadParams &p);
+std::unique_ptr<Workload> makeStreamcluster(const WorkloadParams &p);
+std::unique_ptr<Workload> makeMummergpu(const WorkloadParams &p);
+std::unique_ptr<Workload> makePathfinder(const WorkloadParams &p);
+std::unique_ptr<Workload> makeMemcached(const WorkloadParams &p);
+
+} // namespace gpummu
+
+#endif // WORKLOADS_BENCHMARKS_HH

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Address-pattern building blocks shared by the benchmark models.
+ *
+ * The paper's results hinge on per-warp access *shape*: how many
+ * distinct pages a warp touches per instruction (page divergence),
+ * how much intra-warp locality exists for CCWS to save, and how far
+ * streams reach past the TLB. These helpers express those shapes:
+ *
+ *  - warpWindow(): a per-(block, static warp) region window, stable
+ *    across a warp's lanes. Under thread block compaction, dynamic
+ *    warps mix lanes from different static warps, so their windows
+ *    differ and page divergence rises *naturally*, which is exactly
+ *    the effect the paper measures (+2-4 divergence under TBC).
+ *  - clusteredAddr(): random within the warp window, with an escape
+ *    probability for far-flung accesses (bfs/mummergpu tails).
+ *  - streamAddr(): coalesced streaming.
+ */
+
+#ifndef WORKLOADS_PATTERNS_HH
+#define WORKLOADS_PATTERNS_HH
+
+#include "gpu/kernel.hh"
+#include "gpu/simt_stack.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+#include "vm/address_space.hh"
+
+namespace gpummu {
+
+/**
+ * Deterministic window id for a thread's *static* warp. @p epoch lets
+ * callers rotate windows over loop iterations, @p salt separates data
+ * structures.
+ */
+inline std::uint64_t
+warpWindow(const ThreadCtx &ctx, std::uint64_t salt,
+           std::uint64_t epoch)
+{
+    std::uint64_t key = static_cast<std::uint64_t>(ctx.blockId);
+    key = key * 131 + static_cast<std::uint64_t>(ctx.warpInBlock);
+    key ^= salt * 0x9e3779b97f4a7c15ULL;
+    key ^= epoch * 0xbf58476d1ce4e5b9ULL;
+    return splitMix64(key);
+}
+
+/** Pages in a region (4KB granularity regardless of mapping size). */
+inline std::uint64_t
+regionPages(const VmRegion &region)
+{
+    return region.bytes >> kPageShift4K;
+}
+
+/**
+ * Random word address inside a per-warp window of @p window_pages
+ * pages, escaping to a uniform region-wide address with probability
+ * @p p_scatter. Window placement is derived from (block, static
+ * warp, epoch, salt); lane placement inside the window comes from the
+ * thread's private RNG.
+ */
+inline VirtAddr
+clusteredAddr(ThreadCtx &ctx, const VmRegion &region,
+              std::uint64_t salt, std::uint64_t epoch,
+              std::uint64_t window_pages, double p_scatter)
+{
+    const std::uint64_t pages = regionPages(region);
+    std::uint64_t page;
+    if (p_scatter > 0.0 && ctx.rng.chance(p_scatter)) {
+        page = ctx.rng.below(pages);
+    } else {
+        const std::uint64_t span =
+            window_pages >= pages ? 1 : pages - window_pages;
+        const std::uint64_t base =
+            warpWindow(ctx, salt, epoch) % span;
+        page = base + ctx.rng.below(std::min(window_pages, pages));
+    }
+    const std::uint64_t offset = ctx.rng.below(kPageSize4K / 8) * 8;
+    return region.base + page * kPageSize4K + offset;
+}
+
+/**
+ * The general irregular-benchmark access mixture. Three components:
+ *
+ *  - hot (probability pHot): a small shared set of pages at the
+ *    start of the region (graph hubs, hot keys, shared tables). The
+ *    page *and line* are chosen lane-invariantly per (static warp,
+ *    access index), so hot lanes coalesce to one reference and the
+ *    hot set stays TLB/L1 resident.
+ *  - window (1 - pHot - pScatter): the warp's private working set of
+ *    windowPages pages, rotated every epoch. Provides the intra-warp
+ *    reuse CCWS recovers, and the TLB pressure of 48 concurrent
+ *    windows.
+ *  - scatter (pScatter): region-wide uniform, the far-flung tail
+ *    that drives maximum page divergence to the warp width.
+ *
+ * Within a page only linesPerPage distinct line slots are used so
+ * the L1 sees realistic line reuse.
+ */
+struct MixParams
+{
+    std::uint64_t salt = 0;
+    std::uint64_t hotPages = 32;
+    double pHot = 0.4;
+    /**
+     * Distinct hot pages touched per warp instruction: lanes are
+     * split into this many groups, each group sharing one hot page.
+     * More groups add TLB-hitting lookups per instruction (hot data
+     * is resident) and raise page divergence.
+     */
+    unsigned hotGroups = 1;
+    std::uint64_t windowPages = 2;
+    double pScatter = 0.05;
+    unsigned linesPerPage = 4;
+    /** Window rotates every epochLen visits of the keyed block. */
+    std::uint32_t epochLen = 8;
+    /**
+     * Lane-invariant probability that the *whole warp* scatters
+     * region-wide for this access - the pathological instructions
+     * that push maximum page divergence to the warp width.
+     */
+    double pChaos = 0.0;
+    /**
+     * A thread stays on its chosen window/scatter page for this many
+     * consecutive accesses (walking a node's edge list or a hash
+     * chain). Keeps divergence high while restoring short-term TLB
+     * locality. 1 disables stickiness.
+     */
+    unsigned stickyLen = 1;
+    /**
+     * Per-warp windows are carved out of a shared pool of this many
+     * pages at the start of the region (0 = the whole region). Real
+     * irregular workloads concentrate their misses on a shared
+     * working set - frontier neighbourhoods, hot tree levels - so
+     * TLB misses from different warps refresh entries for each
+     * other and page-table lines for the pool stay L2 resident.
+     */
+    std::uint64_t poolPages = 0;
+};
+
+inline VirtAddr
+mixedAddr(ThreadCtx &ctx, const VmRegion &region, const MixParams &mp,
+          std::uint32_t visit_count)
+{
+    const std::uint64_t pages = regionPages(region);
+    const std::uint64_t line_step = kPageSize4K / mp.linesPerPage;
+
+    if (mp.pChaos > 0.0) {
+        const std::uint64_t h =
+            warpWindow(ctx, mp.salt * 3 + 7, visit_count);
+        if (static_cast<double>(h % 100000) <
+            mp.pChaos * 100000.0) {
+            // Warp-wide scatter burst: every lane far-flung.
+            const std::uint64_t page = ctx.rng.below(pages);
+            return region.base + page * kPageSize4K +
+                   ctx.rng.below(mp.linesPerPage) * line_step;
+        }
+    }
+
+    const double draw = ctx.rng.uniform();
+    if (draw < mp.pHot) {
+        // Hot pages are *globally shared* structure (graph hubs, hot
+        // keys, tree roots): the hash deliberately excludes the
+        // thread/warp identity so every warp keeps the same small
+        // set of lines resident. Lanes of a group coalesce to one
+        // reference; the pick rotates with the iteration so all hot
+        // lines stay warm.
+        const unsigned groups = std::max(1u, mp.hotGroups);
+        const unsigned group =
+            static_cast<unsigned>(ctx.laneId) /
+            std::max(1u, kWarpWidth / groups);
+        const std::uint64_t h = splitMix64(
+            (mp.salt * 2 + 1) * 0x9e3779b97f4a7c15ULL ^
+            (visit_count * 131ULL + group));
+        const std::uint64_t page =
+            h % std::min<std::uint64_t>(mp.hotPages, pages);
+        const std::uint64_t line = (h >> 32) % mp.linesPerPage;
+        return region.base + page * kPageSize4K + line * line_step;
+    }
+    std::uint64_t page;
+    auto &sticky = ctx.sticky[mp.salt % ctx.sticky.size()];
+    if (mp.stickyLen > 1 && sticky.left > 0 && sticky.page < pages) {
+        page = sticky.page;
+        --sticky.left;
+    } else {
+        if (draw < mp.pHot + mp.pScatter) {
+            page = ctx.rng.below(pages);
+        } else {
+            const std::uint64_t epoch =
+                mp.epochLen ? visit_count / mp.epochLen : 0;
+            const std::uint64_t pool =
+                mp.poolPages ? std::min(mp.poolPages, pages) : pages;
+            const std::uint64_t span =
+                mp.windowPages >= pool ? 1 : pool - mp.windowPages;
+            const std::uint64_t base =
+                warpWindow(ctx, mp.salt, epoch) % span;
+            page = base +
+                   ctx.rng.below(std::min(mp.windowPages, pool));
+        }
+        if (mp.stickyLen > 1) {
+            sticky.page = page;
+            sticky.left = mp.stickyLen - 1;
+        }
+    }
+    // Quantize to one of linesPerPage cache-line slots so the L1
+    // sees real line reuse (sub-line offsets don't matter to the
+    // line-granular timing model).
+    const std::uint64_t line = ctx.rng.below(mp.linesPerPage);
+    return region.base + page * kPageSize4K + line * line_step;
+}
+
+/**
+ * Coalesced streaming address: element @p index of an array of
+ * @p elem_bytes elements, wrapped to the region size.
+ */
+inline VirtAddr
+streamAddr(const VmRegion &region, std::uint64_t index,
+           std::uint64_t elem_bytes)
+{
+    const std::uint64_t capacity = region.bytes / elem_bytes;
+    return region.base + (index % capacity) * elem_bytes;
+}
+
+} // namespace gpummu
+
+#endif // WORKLOADS_PATTERNS_HH

@@ -1,0 +1,56 @@
+#include "workloads/workload.hh"
+
+#include "sim/logging.hh"
+#include "workloads/benchmarks.hh"
+
+namespace gpummu {
+
+std::vector<BenchmarkId>
+allBenchmarks()
+{
+    return {BenchmarkId::Bfs,           BenchmarkId::Kmeans,
+            BenchmarkId::Streamcluster, BenchmarkId::Mummergpu,
+            BenchmarkId::Pathfinder,    BenchmarkId::Memcached};
+}
+
+std::string
+benchmarkName(BenchmarkId id)
+{
+    switch (id) {
+      case BenchmarkId::Bfs:
+        return "bfs";
+      case BenchmarkId::Kmeans:
+        return "kmeans";
+      case BenchmarkId::Streamcluster:
+        return "streamcluster";
+      case BenchmarkId::Mummergpu:
+        return "mummergpu";
+      case BenchmarkId::Pathfinder:
+        return "pathfinder";
+      case BenchmarkId::Memcached:
+        return "memcached";
+    }
+    GPUMMU_PANIC("unknown benchmark id");
+}
+
+std::unique_ptr<Workload>
+makeWorkload(BenchmarkId id, const WorkloadParams &params)
+{
+    switch (id) {
+      case BenchmarkId::Bfs:
+        return makeBfs(params);
+      case BenchmarkId::Kmeans:
+        return makeKmeans(params);
+      case BenchmarkId::Streamcluster:
+        return makeStreamcluster(params);
+      case BenchmarkId::Mummergpu:
+        return makeMummergpu(params);
+      case BenchmarkId::Pathfinder:
+        return makePathfinder(params);
+      case BenchmarkId::Memcached:
+        return makeMemcached(params);
+    }
+    GPUMMU_PANIC("unknown benchmark id");
+}
+
+} // namespace gpummu

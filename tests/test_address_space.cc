@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for the process address space.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/address_space.hh"
+
+using namespace gpummu;
+
+TEST(AddressSpace, RegionsAreMappedEagerly)
+{
+    PhysicalMemory phys(1 << 16, false);
+    AddressSpace as(phys);
+    auto r = as.mmap("data", 64 * 1024);
+    EXPECT_EQ(r.bytes, 64u * 1024u);
+    for (VirtAddr va = r.base; va < r.end(); va += kPageSize4K)
+        EXPECT_TRUE(as.pageTable().translate(va >> kPageShift4K));
+}
+
+TEST(AddressSpace, SizesRoundUpToPages)
+{
+    PhysicalMemory phys(1 << 16, false);
+    AddressSpace as(phys);
+    auto r = as.mmap("odd", 100);
+    EXPECT_EQ(r.bytes, kPageSize4K);
+}
+
+TEST(AddressSpace, GuardPageBetweenRegions)
+{
+    PhysicalMemory phys(1 << 16, false);
+    AddressSpace as(phys);
+    auto a = as.mmap("a", kPageSize4K);
+    auto b = as.mmap("b", kPageSize4K);
+    EXPECT_GE(b.base, a.end() + kPageSize4K);
+    // The guard page is unmapped.
+    EXPECT_FALSE(as.pageTable().translate(a.end() >> kPageShift4K));
+}
+
+TEST(AddressSpace, DistinctRegionsDistinctFrames)
+{
+    PhysicalMemory phys(1 << 16, true);
+    AddressSpace as(phys);
+    auto a = as.mmap("a", 4 * kPageSize4K);
+    auto b = as.mmap("b", 4 * kPageSize4K);
+    std::set<Ppn> frames;
+    for (VirtAddr va = a.base; va < a.end(); va += kPageSize4K)
+        frames.insert(as.pageTable().translate(va >> 12)->ppn);
+    for (VirtAddr va = b.base; va < b.end(); va += kPageSize4K)
+        frames.insert(as.pageTable().translate(va >> 12)->ppn);
+    EXPECT_EQ(frames.size(), 8u);
+}
+
+TEST(AddressSpace, LargePageMode)
+{
+    PhysicalMemory phys(1 << 20, false);
+    AddressSpace as(phys, /*use_large=*/true);
+    EXPECT_TRUE(as.usesLargePages());
+    auto r = as.mmap("big", 3 * kPageSize2M);
+    EXPECT_EQ(r.base % kPageSize2M, 0u);
+    EXPECT_EQ(r.bytes, 3 * kPageSize2M);
+    auto t = as.pageTable().translate(r.base >> kPageShift4K);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_TRUE(t->isLarge);
+    // An interior 4KB page translates with the right offset.
+    auto mid = as.pageTable().translate((r.base >> kPageShift4K) + 5);
+    ASSERT_TRUE(mid.has_value());
+    EXPECT_EQ(mid->ppn, t->ppn + 5);
+}
+
+TEST(AddressSpace, LargePageModeRoundsToLargePages)
+{
+    PhysicalMemory phys(1 << 20, false);
+    AddressSpace as(phys, true);
+    auto r = as.mmap("small", 100);
+    EXPECT_EQ(r.bytes, kPageSize2M);
+}
+
+TEST(AddressSpace, TracksMappedBytesAndRegions)
+{
+    PhysicalMemory phys(1 << 16, false);
+    AddressSpace as(phys);
+    as.mmap("a", kPageSize4K);
+    as.mmap("b", 2 * kPageSize4K);
+    EXPECT_EQ(as.mappedBytes(), 3 * kPageSize4K);
+    ASSERT_EQ(as.regions().size(), 2u);
+    EXPECT_EQ(as.regions()[0].name, "a");
+    EXPECT_EQ(as.regions()[1].name, "b");
+}
+
+TEST(VmRegion, ContainsSemantics)
+{
+    VmRegion r{"x", 0x1000, 0x2000};
+    EXPECT_TRUE(r.contains(0x1000));
+    EXPECT_TRUE(r.contains(0x2fff));
+    EXPECT_FALSE(r.contains(0x3000));
+    EXPECT_FALSE(r.contains(0xfff));
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Unit tests for the CACTI-style TLB access-time model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mmu/cacti_model.hh"
+
+using namespace gpummu;
+
+TEST(CactiModel, SmallArraysAreFree)
+{
+    CactiModel m;
+    EXPECT_EQ(m.sizePenalty(64), 0u);
+    EXPECT_EQ(m.sizePenalty(128), 0u);
+}
+
+TEST(CactiModel, PenaltyGrowsPerDoubling)
+{
+    CactiModel m;
+    EXPECT_EQ(m.sizePenalty(256), 2u);
+    EXPECT_EQ(m.sizePenalty(512), 4u);
+    EXPECT_GT(m.sizePenalty(1024), m.sizePenalty(512));
+}
+
+TEST(CactiModel, PortPenalties)
+{
+    CactiModel m;
+    EXPECT_EQ(m.portPenalty(1), 0u);
+    EXPECT_EQ(m.portPenalty(3), 0u);
+    EXPECT_EQ(m.portPenalty(4), 0u);
+    EXPECT_EQ(m.portPenalty(8), 1u);
+    EXPECT_EQ(m.portPenalty(16), 2u);
+    EXPECT_EQ(m.portPenalty(32), 3u);
+}
+
+TEST(CactiModel, AccessPenaltyIsSum)
+{
+    CactiModel m;
+    EXPECT_EQ(m.accessPenalty(512, 32),
+              m.sizePenalty(512) + m.portPenalty(32));
+}
+
+TEST(CactiModel, IdealDisablesEverything)
+{
+    CactiModel m;
+    m.ideal = true;
+    EXPECT_EQ(m.accessPenalty(512, 32), 0u);
+    EXPECT_EQ(m.sizePenalty(4096), 0u);
+    EXPECT_EQ(m.portPenalty(32), 0u);
+}

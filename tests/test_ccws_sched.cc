@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Unit tests for the CCWS / TA-CCWS / TCWS scheduler machinery:
+ * victim tag arrays, lost-locality scoring, throttling dynamics,
+ * decay and warp-reset behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/ccws.hh"
+
+using namespace gpummu;
+
+namespace {
+
+CcwsConfig
+smallCcws()
+{
+    CcwsConfig cfg;
+    cfg.numWarps = 8;
+    cfg.vtaEntriesPerWarp = 4;
+    cfg.vtaWays = 4;
+    cfg.vtaHitScore = 100;
+    cfg.scoreCap = 200;
+    cfg.cutoff = 250;
+    cfg.minAllowed = 2;
+    cfg.halfLife = 1000;
+    cfg.updateInterval = 1;
+    return cfg;
+}
+
+/** Evict line for warp w, then miss on it again: one VTA hit. */
+void
+lostLocalityEvent(Ccws &ccws, int warp, PhysAddr line)
+{
+    ccws.onL1Eviction(line, warp);
+    ccws.onL1Miss(warp, line, /*tlb_missed=*/false);
+}
+
+} // namespace
+
+TEST(Ccws, NoThrottlingWithoutLostLocality)
+{
+    Ccws ccws(smallCcws());
+    ccws.tick(0);
+    for (int w = 0; w < 8; ++w)
+        EXPECT_TRUE(ccws.mayIssueMem(w));
+}
+
+TEST(Ccws, MissWithoutPriorEvictionDoesNotScore)
+{
+    Ccws ccws(smallCcws());
+    ccws.onL1Miss(3, 111, false);
+    EXPECT_EQ(ccws.score(3), 0u);
+}
+
+TEST(Ccws, VtaHitRaisesScore)
+{
+    Ccws ccws(smallCcws());
+    lostLocalityEvent(ccws, 3, 111);
+    EXPECT_EQ(ccws.score(3), 100u);
+}
+
+TEST(Ccws, VtaIsPerWarp)
+{
+    Ccws ccws(smallCcws());
+    ccws.onL1Eviction(111, /*alloc_warp=*/3);
+    // A different warp missing on the same line must not score.
+    ccws.onL1Miss(4, 111, false);
+    EXPECT_EQ(ccws.score(4), 0u);
+}
+
+TEST(Ccws, ScoreSaturatesAtCap)
+{
+    Ccws ccws(smallCcws());
+    for (int i = 0; i < 10; ++i)
+        lostLocalityEvent(ccws, 0, 100 + i);
+    EXPECT_EQ(ccws.score(0), 200u);
+}
+
+TEST(Ccws, ThrottlingKeepsHighScorersEligible)
+{
+    Ccws ccws(smallCcws());
+    // Warps 0 and 1 lose locality heavily; total exceeds the cutoff.
+    for (int i = 0; i < 5; ++i) {
+        lostLocalityEvent(ccws, 0, 100 + i);
+        lostLocalityEvent(ccws, 1, 200 + i);
+    }
+    ccws.tick(1);
+    EXPECT_TRUE(ccws.mayIssueMem(0));
+    EXPECT_TRUE(ccws.mayIssueMem(1));
+    // At least one cold warp must now be blocked.
+    int blocked = 0;
+    for (int w = 2; w < 8; ++w)
+        blocked += !ccws.mayIssueMem(w);
+    EXPECT_GT(blocked, 0);
+}
+
+TEST(Ccws, MinAllowedPoolIsGuaranteed)
+{
+    Ccws ccws(smallCcws());
+    for (int w = 0; w < 8; ++w) {
+        for (int i = 0; i < 3; ++i)
+            lostLocalityEvent(ccws, w, w * 100 + i);
+    }
+    ccws.tick(1);
+    int allowed = 0;
+    for (int w = 0; w < 8; ++w)
+        allowed += ccws.mayIssueMem(w);
+    EXPECT_GE(allowed, 2);
+    EXPECT_LT(allowed, 8);
+}
+
+TEST(Ccws, ScoresDecayOverTime)
+{
+    auto cfg = smallCcws();
+    Ccws ccws(cfg);
+    lostLocalityEvent(ccws, 0, 42);
+    EXPECT_EQ(ccws.score(0), 100u);
+    ccws.tick(cfg.halfLife);
+    EXPECT_EQ(ccws.score(0), 50u);
+    ccws.tick(3 * cfg.halfLife);
+    EXPECT_LE(ccws.score(0), 13u);
+}
+
+TEST(Ccws, ThrottleReleasesAfterDecay)
+{
+    auto cfg = smallCcws();
+    Ccws ccws(cfg);
+    for (int i = 0; i < 5; ++i) {
+        lostLocalityEvent(ccws, 0, 100 + i);
+        lostLocalityEvent(ccws, 1, 200 + i);
+    }
+    ccws.tick(1);
+    int blocked = 0;
+    for (int w = 0; w < 8; ++w)
+        blocked += !ccws.mayIssueMem(w);
+    ASSERT_GT(blocked, 0);
+    // Several half-lives later the total falls under the cutoff.
+    ccws.tick(10 * cfg.halfLife);
+    for (int w = 0; w < 8; ++w)
+        EXPECT_TRUE(ccws.mayIssueMem(w));
+}
+
+TEST(Ccws, WarpResetDropsScoreAndVta)
+{
+    Ccws ccws(smallCcws());
+    for (int i = 0; i < 5; ++i)
+        lostLocalityEvent(ccws, 0, 100 + i);
+    ASSERT_GT(ccws.score(0), 0u);
+    ccws.onWarpReset(0);
+    EXPECT_EQ(ccws.score(0), 0u);
+    // Old eviction records are gone: a new miss does not score.
+    ccws.onL1Miss(0, 104, false);
+    EXPECT_EQ(ccws.score(0), 0u);
+}
+
+TEST(TaCcws, TlbMissWeightMultipliesScore)
+{
+    auto cfg = smallCcws();
+    cfg.tlbMissWeight = 4;
+    cfg.scoreCap = 10000;
+    Ccws ta(cfg);
+    ta.onL1Eviction(5, 0);
+    ta.onL1Miss(0, 5, /*tlb_missed=*/true);
+    EXPECT_EQ(ta.score(0), 400u);
+    ta.onL1Eviction(6, 0);
+    ta.onL1Miss(0, 6, /*tlb_missed=*/false);
+    EXPECT_EQ(ta.score(0), 500u);
+    EXPECT_EQ(ta.name(), "ta-ccws");
+}
+
+namespace {
+
+TcwsConfig
+smallTcws()
+{
+    TcwsConfig cfg;
+    cfg.numWarps = 8;
+    cfg.vtaEntriesPerWarp = 4;
+    cfg.vtaWays = 4;
+    cfg.vtaHitScore = 100;
+    cfg.scoreCap = 400;
+    cfg.cutoff = 250;
+    cfg.minAllowed = 2;
+    cfg.halfLife = 1000;
+    cfg.updateInterval = 1;
+    cfg.lruWeights = {1, 2, 4, 8};
+    return cfg;
+}
+
+} // namespace
+
+TEST(Tcws, TlbVictimHitScores)
+{
+    Tcws tcws(smallTcws());
+    tcws.onTlbEviction(77, /*alloc_warp=*/2);
+    tcws.onTlbMiss(2, 77);
+    EXPECT_EQ(tcws.score(2), 100u);
+    // Other warps' misses on the page do not score warp 2's VTA.
+    tcws.onTlbEviction(78, 2);
+    tcws.onTlbMiss(3, 78);
+    EXPECT_EQ(tcws.score(3), 0u);
+}
+
+TEST(Tcws, LruDepthWeightsScoreHits)
+{
+    Tcws tcws(smallTcws());
+    tcws.onTlbHit(1, 5, 0);
+    EXPECT_EQ(tcws.score(1), 1u);
+    tcws.onTlbHit(1, 5, 3);
+    EXPECT_EQ(tcws.score(1), 9u);
+    // Depths beyond 3 clamp to the deepest weight.
+    tcws.onTlbHit(1, 5, 7);
+    EXPECT_EQ(tcws.score(1), 17u);
+}
+
+TEST(Tcws, ZeroWeightsDisableHitScoring)
+{
+    auto cfg = smallTcws();
+    cfg.lruWeights = {0, 0, 0, 0};
+    Tcws tcws(cfg);
+    tcws.onTlbHit(1, 5, 3);
+    EXPECT_EQ(tcws.score(1), 0u);
+}
+
+TEST(Tcws, ThrottlesLikeCcws)
+{
+    Tcws tcws(smallTcws());
+    for (int i = 0; i < 4; ++i) {
+        tcws.onTlbEviction(100 + i, 0);
+        tcws.onTlbMiss(0, 100 + i);
+        tcws.onTlbEviction(200 + i, 1);
+        tcws.onTlbMiss(1, 200 + i);
+    }
+    tcws.tick(1);
+    EXPECT_TRUE(tcws.mayIssueMem(0));
+    EXPECT_TRUE(tcws.mayIssueMem(1));
+    int blocked = 0;
+    for (int w = 2; w < 8; ++w)
+        blocked += !tcws.mayIssueMem(w);
+    EXPECT_GT(blocked, 0);
+}
+
+TEST(Tcws, WarpResetClearsState)
+{
+    Tcws tcws(smallTcws());
+    tcws.onTlbEviction(9, 4);
+    tcws.onTlbMiss(4, 9);
+    ASSERT_GT(tcws.score(4), 0u);
+    tcws.onWarpReset(4);
+    EXPECT_EQ(tcws.score(4), 0u);
+}
+
+TEST(Schedulers, RoundRobinCyclesFairly)
+{
+    LooseRoundRobin rr(4);
+    std::vector<int> all = {0, 1, 2, 3};
+    std::vector<int> picks;
+    for (int i = 0; i < 8; ++i)
+        picks.push_back(rr.pick(0, all));
+    // Loose round robin starts after slot 0 (the reset value).
+    EXPECT_EQ(picks, (std::vector<int>{1, 2, 3, 0, 1, 2, 3, 0}));
+}
+
+TEST(Schedulers, RoundRobinSkipsMissing)
+{
+    LooseRoundRobin rr(4);
+    EXPECT_EQ(rr.pick(0, {2, 3}), 2); // first after slot 0
+    EXPECT_EQ(rr.pick(0, {1, 3}), 3); // first after slot 2
+    EXPECT_EQ(rr.pick(0, {0, 1}), 0); // wraps past 3
+}
+
+TEST(Schedulers, GreedyThenOldestSticksToGreedyWarp)
+{
+    GreedyThenOldest gto;
+    EXPECT_EQ(gto.pick(0, {2, 5, 7}), 2); // oldest
+    EXPECT_EQ(gto.pick(0, {5, 2, 7}), 2); // sticks
+    EXPECT_EQ(gto.pick(0, {5, 7}), 5);    // greedy gone: oldest
+    EXPECT_EQ(gto.pick(0, {7, 5}), 5);    // sticks again
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the discrete event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace gpummu;
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, TiesRunInSchedulingOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(7, [&order, i] { order.push_back(i); });
+    eq.runUntil(7);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(11, [&] { ++fired; });
+    eq.runUntil(10);
+    EXPECT_EQ(fired, 1);
+    eq.runUntil(11);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CallbackCanScheduleMore)
+{
+    EventQueue eq;
+    std::vector<Cycle> fire_times;
+    // A chain: each event schedules the next, 5 deep.
+    std::function<void()> chain = [&]() {
+        fire_times.push_back(eq.now());
+        if (fire_times.size() < 5)
+            eq.schedule(eq.now() + 10, chain);
+    };
+    eq.schedule(10, chain);
+    eq.runUntil(1000);
+    EXPECT_EQ(fire_times,
+              (std::vector<Cycle>{10, 20, 30, 40, 50}));
+}
+
+TEST(EventQueue, SameCycleCallbackRunsWithinSameRun)
+{
+    EventQueue eq;
+    bool inner = false;
+    eq.schedule(5, [&] { eq.schedule(5, [&] { inner = true; }); });
+    eq.runUntil(5);
+    EXPECT_TRUE(inner);
+}
+
+TEST(EventQueue, NextEventCycle)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.nextEventCycle(), kCycleNever);
+    eq.schedule(42, [] {});
+    EXPECT_EQ(eq.nextEventCycle(), 42u);
+}
+
+TEST(EventQueue, SizeAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    eq.schedule(1, [] {});
+    eq.schedule(2, [] {});
+    EXPECT_EQ(eq.size(), 2u);
+    eq.runUntil(3);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, ClearDropsEventsAndResetsTime)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(5, [&] { ++fired; });
+    eq.runUntil(3);
+    eq.clear();
+    EXPECT_EQ(eq.now(), 0u);
+    eq.runUntil(100);
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.runUntil(50);
+    EXPECT_DEATH(eq.schedule(49, [] {}), "past");
+}

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the top-level GPU: breadth-first block dispatch, wave
+ * draining, and RunStats aggregation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "gpu/gpu_top.hh"
+#include "gpu/simt_core.hh"
+#include "workloads/workload.hh"
+
+using namespace gpummu;
+
+namespace {
+
+/** Minimal compute-only workload: a few ALU ops then exit. */
+class ComputeWorkload : public Workload
+{
+  public:
+    explicit ComputeWorkload(unsigned blocks)
+        : Workload(WorkloadParams{}), prog_("compute"),
+          blocks_(blocks)
+    {
+    }
+
+    std::string name() const override { return "compute"; }
+    const KernelProgram &program() const override { return prog_; }
+    unsigned threadsPerBlock() const override { return 64; }
+    unsigned numBlocks() const override { return blocks_; }
+
+    void
+    build(AddressSpace &as) override
+    {
+        (void)as;
+        const int b0 = prog_.addBlock();
+        const int b1 = prog_.addBlock();
+        prog_.appendAlu(b0, 8);
+        prog_.appendBranch(b0, -1, b1, -1, -1);
+        prog_.appendExit(b1);
+    }
+
+  private:
+    KernelProgram prog_;
+    unsigned blocks_;
+};
+
+/** SimtCore wrapper that records which blocks landed on it. */
+class RecordingCore : public SimtCore
+{
+  public:
+    using SimtCore::SimtCore;
+
+    void
+    launchBlock(unsigned id) override
+    {
+        launched.push_back(id);
+        SimtCore::launchBlock(id);
+    }
+
+    std::vector<unsigned> launched;
+};
+
+} // namespace
+
+TEST(GpuTop, DispatchSpreadsBlocksBreadthFirst)
+{
+    ComputeWorkload wl(8);
+    std::vector<RecordingCore *> cores;
+    GpuTop gpu(
+        4, MemorySystemConfig{}, wl,
+        [&cores](int id, const LaunchParams &l, AddressSpace &as,
+                 MemorySystem &m,
+                 EventQueue &e) -> std::unique_ptr<ShaderCore> {
+            CoreConfig cfg;
+            cfg.mmu.enabled = false;
+            auto core =
+                std::make_unique<RecordingCore>(id, cfg, l, as, m, e);
+            cores.push_back(core.get());
+            return core;
+        });
+    gpu.run(1'000'000);
+    // 8 blocks over 4 cores: two each, round-robin order for the
+    // first wave.
+    ASSERT_EQ(cores.size(), 4u);
+    for (auto *c : cores)
+        EXPECT_EQ(c->launched.size(), 2u);
+    EXPECT_EQ(cores[0]->launched[0], 0u);
+    EXPECT_EQ(cores[1]->launched[0], 1u);
+    EXPECT_EQ(cores[2]->launched[0], 2u);
+    EXPECT_EQ(cores[3]->launched[0], 3u);
+}
+
+TEST(GpuTop, ManyWavesDrainCompletely)
+{
+    // 64-thread blocks on a 48-slot core: 24 resident blocks per
+    // core; 100 blocks on 2 cores takes multiple waves.
+    ComputeWorkload wl(100);
+    unsigned total_launched = 0;
+    GpuTop gpu(
+        2, MemorySystemConfig{}, wl,
+        [&total_launched](int id, const LaunchParams &l,
+                          AddressSpace &as, MemorySystem &m,
+                          EventQueue &e) -> std::unique_ptr<ShaderCore> {
+            CoreConfig cfg;
+            cfg.mmu.enabled = false;
+            auto core =
+                std::make_unique<RecordingCore>(id, cfg, l, as, m, e);
+            (void)total_launched;
+            return core;
+        });
+    auto stats = gpu.run(10'000'000);
+    // Every thread executed 10 warp-instructions' worth of work:
+    // 100 blocks x 2 warps x (8 alu + branch + exit).
+    EXPECT_EQ(stats.instructions, 100u * 2u * 10u);
+}
+
+TEST(GpuTop, RunStatsAggregatesAcrossCores)
+{
+    ComputeWorkload wl(6);
+    GpuTop gpu(
+        3, MemorySystemConfig{}, wl,
+        [](int id, const LaunchParams &l, AddressSpace &as,
+           MemorySystem &m,
+           EventQueue &e) -> std::unique_ptr<ShaderCore> {
+            CoreConfig cfg;
+            cfg.mmu.enabled = false;
+            return std::make_unique<SimtCore>(id, cfg, l, as, m, e);
+        });
+    auto stats = gpu.run(1'000'000);
+    EXPECT_EQ(stats.instructions, 6u * 2u * 10u);
+    EXPECT_EQ(stats.memInstructions, 0u);
+    EXPECT_EQ(stats.tlbAccesses, 0u);
+    EXPECT_GT(stats.cycles, 0u);
+    EXPECT_GT(stats.ipc(), 0.0);
+}
+
+TEST(GpuTop, StatsRegistryHasPerCoreEntries)
+{
+    ComputeWorkload wl(2);
+    GpuTop gpu(
+        2, MemorySystemConfig{}, wl,
+        [](int id, const LaunchParams &l, AddressSpace &as,
+           MemorySystem &m,
+           EventQueue &e) -> std::unique_ptr<ShaderCore> {
+            CoreConfig cfg;
+            cfg.mmu.enabled = false;
+            return std::make_unique<SimtCore>(id, cfg, l, as, m, e);
+        });
+    gpu.run(1'000'000);
+    EXPECT_NE(gpu.stats().findCounter("core0.instrs"), nullptr);
+    EXPECT_NE(gpu.stats().findCounter("core1.instrs"), nullptr);
+    EXPECT_NE(gpu.stats().findCounter("mem.l2.accesses"), nullptr);
+    EXPECT_EQ(gpu.stats().findCounter("core2.instrs"), nullptr);
+}
+
+TEST(GpuTop, DeadlockGuardFires)
+{
+    // A kernel that can never finish within the budget trips the
+    // guard (fatal exits with code 1).
+    ComputeWorkload wl(200);
+    auto run_tiny_budget = [&]() {
+        GpuTop gpu(
+            1, MemorySystemConfig{}, wl,
+            [](int id, const LaunchParams &l, AddressSpace &as,
+               MemorySystem &m,
+               EventQueue &e) -> std::unique_ptr<ShaderCore> {
+                CoreConfig cfg;
+                cfg.mmu.enabled = false;
+                return std::make_unique<SimtCore>(id, cfg, l, as, m,
+                                                  e);
+            });
+        gpu.run(/*max_cycles=*/2);
+    };
+    EXPECT_EXIT(run_tiny_budget(), ::testing::ExitedWithCode(1),
+                "exceeded");
+}

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Integration tests: whole-GPU runs at small scale asserting the
+ * paper's qualitative orderings and cross-run determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/presets.hh"
+
+using namespace gpummu;
+
+namespace {
+
+WorkloadParams
+tinyParams()
+{
+    WorkloadParams p;
+    p.scale = 0.04;
+    p.seed = 42;
+    return p;
+}
+
+SystemConfig
+shrink(SystemConfig cfg)
+{
+    cfg.numCores = 4;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Integration, NaiveTlbDegradesEveryBenchmark)
+{
+    Experiment exp(tinyParams());
+    const auto base = shrink(presets::noTlb());
+    const auto naive = shrink(presets::naiveTlb(3));
+    for (BenchmarkId id : allBenchmarks()) {
+        const double s = exp.speedup(id, naive, base);
+        EXPECT_LT(s, 1.0) << benchmarkName(id);
+    }
+}
+
+TEST(Integration, AugmentedRecoversMostOfTheLoss)
+{
+    Experiment exp(tinyParams());
+    const auto base = shrink(presets::noTlb());
+    const auto naive = shrink(presets::naiveTlb(4));
+    const auto aug = shrink(presets::augmentedTlb());
+    for (BenchmarkId id :
+         {BenchmarkId::Bfs, BenchmarkId::Mummergpu,
+          BenchmarkId::Memcached}) {
+        const double n = exp.speedup(id, naive, base);
+        const double a = exp.speedup(id, aug, base);
+        EXPECT_GT(a, n) << benchmarkName(id);
+    }
+}
+
+TEST(Integration, TlbMissRatesInPaperBand)
+{
+    Experiment exp(tinyParams());
+    const auto naive = shrink(presets::naiveTlb(4));
+    for (BenchmarkId id : allBenchmarks()) {
+        const auto s = exp.run(id, naive);
+        EXPECT_GT(s.tlbMissRate(), 0.05) << benchmarkName(id);
+        EXPECT_LT(s.tlbMissRate(), 0.95) << benchmarkName(id);
+        EXPECT_GT(s.tlbAccesses, 0u);
+    }
+}
+
+TEST(Integration, MemoryInstructionFractionUnderForty)
+{
+    Experiment exp(tinyParams());
+    const auto base = shrink(presets::noTlb());
+    for (BenchmarkId id : allBenchmarks()) {
+        const auto s = exp.run(id, base);
+        EXPECT_LT(s.memInstrFraction(), 0.4) << benchmarkName(id);
+        EXPECT_GT(s.memInstrFraction(), 0.02) << benchmarkName(id);
+    }
+}
+
+TEST(Integration, PageDivergenceOrdering)
+{
+    // mummergpu is the paper's page-divergence outlier; pathfinder
+    // and kmeans are the coalesced ones.
+    Experiment exp(tinyParams());
+    const auto naive = shrink(presets::naiveTlb(4));
+    const auto mummer = exp.run(BenchmarkId::Mummergpu, naive);
+    const auto pf = exp.run(BenchmarkId::Pathfinder, naive);
+    const auto km = exp.run(BenchmarkId::Kmeans, naive);
+    EXPECT_GT(mummer.avgPageDivergence, 3.0);
+    EXPECT_LT(pf.avgPageDivergence, 2.5);
+    EXPECT_LT(km.avgPageDivergence, 2.5);
+    EXPECT_GT(mummer.maxPageDivergence, 16u);
+}
+
+TEST(Integration, RunsAreDeterministic)
+{
+    const auto cfg = shrink(presets::augmentedTlb());
+    const auto a = runConfig(BenchmarkId::Bfs, cfg, tinyParams());
+    const auto b = runConfig(BenchmarkId::Bfs, cfg, tinyParams());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.tlbAccesses, b.tlbAccesses);
+    EXPECT_EQ(a.l1Accesses, b.l1Accesses);
+    EXPECT_EQ(a.walkRefsIssued, b.walkRefsIssued);
+}
+
+TEST(Integration, SeedChangesExecution)
+{
+    auto p1 = tinyParams();
+    auto p2 = tinyParams();
+    p2.seed = 43;
+    const auto cfg = shrink(presets::noTlb());
+    const auto a = runConfig(BenchmarkId::Bfs, cfg, p1);
+    const auto b = runConfig(BenchmarkId::Bfs, cfg, p2);
+    EXPECT_NE(a.cycles, b.cycles);
+}
+
+TEST(Integration, PtwSchedulingEliminatesReferences)
+{
+    Experiment exp(tinyParams());
+    const auto aug = shrink(presets::augmentedTlb());
+    const auto s = exp.run(BenchmarkId::Bfs, aug);
+    EXPECT_GT(s.walkRefsEliminated, 0u);
+    // The paper reports 10-20% of references eliminated.
+    const double frac =
+        static_cast<double>(s.walkRefsEliminated) /
+        static_cast<double>(s.walkRefsEliminated + s.walkRefsIssued);
+    EXPECT_GT(frac, 0.02);
+}
+
+TEST(Integration, TbcRaisesPageDivergenceAndCpmRestoresIt)
+{
+    Experiment exp(tinyParams());
+    const auto plain = shrink(presets::augmentedTlb());
+    const auto tbc = shrink(presets::tbc(presets::augmentedTlb()));
+    const auto aware =
+        shrink(presets::tlbAwareTbc(presets::augmentedTlb(), 3));
+    const auto p = exp.run(BenchmarkId::Bfs, plain);
+    const auto t = exp.run(BenchmarkId::Bfs, tbc);
+    const auto a = exp.run(BenchmarkId::Bfs, aware);
+    EXPECT_GT(t.avgPageDivergence, p.avgPageDivergence + 0.5);
+    EXPECT_LT(a.avgPageDivergence, t.avgPageDivergence - 0.5);
+}
+
+TEST(Integration, LargePagesReduceTlbPressure)
+{
+    Experiment exp(tinyParams());
+    const auto small = shrink(presets::naiveTlb(4));
+    const auto large =
+        shrink(presets::withLargePages(presets::naiveTlb(4)));
+    // 2MB pages collapse most benchmarks' divergence and miss rates.
+    const auto s4k = exp.run(BenchmarkId::Streamcluster, small);
+    const auto s2m = exp.run(BenchmarkId::Streamcluster, large);
+    EXPECT_LT(s2m.avgPageDivergence, s4k.avgPageDivergence);
+    EXPECT_LT(s2m.tlbMissRate(), s4k.tlbMissRate());
+}
+
+TEST(Integration, CcwsThrottlingCutsTlbMisses)
+{
+    Experiment exp(tinyParams());
+    const auto naive = shrink(presets::naiveTlb(4));
+    const auto ccws = shrink(presets::ccws(presets::naiveTlb(4)));
+    const auto plain = exp.run(BenchmarkId::Streamcluster, naive);
+    const auto sched = exp.run(BenchmarkId::Streamcluster, ccws);
+    EXPECT_LT(sched.tlbMissRate(), plain.tlbMissRate() + 0.001);
+}
+
+TEST(Integration, IdealTlbHasHigherHitRateThanNaive)
+{
+    Experiment exp(tinyParams());
+    const auto naive = shrink(presets::naiveTlb(4));
+    const auto ideal = shrink(presets::idealTlb());
+    const auto n = exp.run(BenchmarkId::Bfs, naive);
+    const auto i = exp.run(BenchmarkId::Bfs, ideal);
+    EXPECT_LT(i.tlbMissRate(), n.tlbMissRate());
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the per-core L1 data cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/l1_cache.hh"
+
+using namespace gpummu;
+
+namespace {
+
+struct L1Fixture : public ::testing::Test
+{
+    L1Fixture() : mem(MemorySystemConfig{}), l1(L1CacheConfig{}, mem) {}
+
+    MemorySystemConfig memCfg;
+    MemorySystem mem;
+    L1Cache l1;
+};
+
+} // namespace
+
+TEST_F(L1Fixture, ColdMissThenHit)
+{
+    auto miss = l1.access(100, false, 0, 1);
+    EXPECT_FALSE(miss.hit);
+    EXPECT_GT(miss.readyAt, 0u);
+
+    auto hit = l1.access(100, false, miss.readyAt, 1);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(hit.readyAt, miss.readyAt + 1); // hit latency
+}
+
+TEST_F(L1Fixture, MissLatencyIncludesSharedSystem)
+{
+    auto miss = l1.access(200, false, 0, 0);
+    // At minimum: interconnect both ways + L2 latency.
+    const MemorySystemConfig cfg;
+    EXPECT_GE(miss.readyAt, 2 * cfg.icntLatency + cfg.l2HitLatency);
+}
+
+TEST_F(L1Fixture, MshrMergesConcurrentMisses)
+{
+    auto first = l1.access(300, false, 0, 0);
+    auto second = l1.access(300, false, 1, 1);
+    EXPECT_TRUE(second.mshrMerged);
+    EXPECT_EQ(second.readyAt, first.readyAt);
+    // Only one shared-system access happened.
+    EXPECT_EQ(mem.l2Accesses(), 1u);
+}
+
+TEST_F(L1Fixture, WriteThroughInvalidatesLine)
+{
+    auto m = l1.access(400, false, 0, 0);
+    auto h = l1.access(400, false, m.readyAt, 0);
+    ASSERT_TRUE(h.hit);
+    // Store to the same line invalidates the local copy.
+    l1.access(400, true, m.readyAt + 10, 0);
+    auto after = l1.access(400, false, m.readyAt + 2000, 0);
+    EXPECT_FALSE(after.hit);
+}
+
+TEST_F(L1Fixture, StoresDoNotBlockRequester)
+{
+    auto st = l1.access(500, true, 0, 0);
+    EXPECT_EQ(st.readyAt, 1u); // local hand-off only
+}
+
+TEST_F(L1Fixture, EvictionListenerReportsAllocatingWarp)
+{
+    PhysAddr evicted_line = 0;
+    int evicted_warp = -1;
+    l1.setEvictionListener([&](PhysAddr line, int warp) {
+        evicted_line = line;
+        evicted_warp = warp;
+    });
+    // Fill one set past its ways: lines mapping to the same set.
+    const L1CacheConfig cfg;
+    const std::size_t sets = cfg.bytes / kLineSize / cfg.ways;
+    for (std::size_t i = 0; i <= cfg.ways; ++i) {
+        l1.access(1000 + i * sets, false,
+                  static_cast<Cycle>(i) * 2000, static_cast<int>(i));
+    }
+    EXPECT_EQ(evicted_line, 1000u);
+    EXPECT_EQ(evicted_warp, 0);
+}
+
+TEST_F(L1Fixture, MshrFullReturnsRetryWithWakeTime)
+{
+    const L1CacheConfig cfg;
+    // Fill the MSHR file with distinct outstanding lines at cycle 0.
+    for (unsigned i = 0; i < cfg.numMshrs; ++i)
+        l1.access(10000 + i, false, 0, 0);
+    auto out = l1.access(99999, false, 0, 0);
+    EXPECT_TRUE(out.needRetry);
+    EXPECT_GT(out.readyAt, 0u);
+    // Retrying at the indicated wake time must succeed.
+    auto retry = l1.access(99999, false, out.readyAt, 0);
+    EXPECT_FALSE(retry.needRetry);
+}
+
+TEST_F(L1Fixture, EarliestMshrFree)
+{
+    EXPECT_EQ(l1.earliestMshrFree(), kCycleNever);
+    auto a = l1.access(1, false, 0, 0);
+    auto b = l1.access(2, false, 5, 0);
+    EXPECT_EQ(l1.earliestMshrFree(), std::min(a.readyAt, b.readyAt));
+}
+
+TEST_F(L1Fixture, FlushDropsLinesAndMshrs)
+{
+    auto m = l1.access(600, false, 0, 0);
+    l1.flush();
+    auto after = l1.access(600, false, m.readyAt + 10, 0);
+    EXPECT_FALSE(after.hit);
+}
+
+TEST_F(L1Fixture, StatsCountHitsAndAccesses)
+{
+    auto m = l1.access(700, false, 0, 0);
+    l1.access(700, false, m.readyAt, 0);
+    l1.access(700, false, m.readyAt + 1, 0);
+    EXPECT_EQ(l1.accesses(), 3u);
+    EXPECT_EQ(l1.hits(), 2u);
+    EXPECT_EQ(l1.misses(), 1u);
+    EXPECT_EQ(l1.missLatency().count(), 1u);
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Tests for the panic/fatal/warn reporting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+using namespace gpummu;
+
+TEST(LoggingDeathTest, PanicAbortsWithMessage)
+{
+    EXPECT_DEATH(GPUMMU_PANIC("bad thing ", 42),
+                 "panic: bad thing 42");
+}
+
+TEST(LoggingDeathTest, FatalExitsCleanly)
+{
+    EXPECT_EXIT(GPUMMU_FATAL("user error ", 7),
+                ::testing::ExitedWithCode(1), "fatal: user error 7");
+}
+
+TEST(LoggingDeathTest, AssertIncludesConditionText)
+{
+    const int x = 3;
+    EXPECT_DEATH(GPUMMU_ASSERT(x == 4, "x was ", x),
+                 "assertion failed: x == 4.*x was 3");
+}
+
+TEST(Logging, AssertPassesSilently)
+{
+    GPUMMU_ASSERT(1 + 1 == 2);
+    SUCCEED();
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    warn("this is only a warning: ", 123);
+    inform("status ", 4.5);
+    SUCCEED();
+}

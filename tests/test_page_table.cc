@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for the x86-style radix page table, including the
+ * paper's Figure 8 walk-sharing example.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/request.hh"
+#include "vm/page_table.hh"
+
+using namespace gpummu;
+
+namespace {
+
+/** Compose a 36-bit VPN from four 9-bit radix indices. */
+Vpn
+vpnOf(unsigned pml4, unsigned pdp, unsigned pd, unsigned pt)
+{
+    return (static_cast<Vpn>(pml4) << 27) |
+           (static_cast<Vpn>(pdp) << 18) |
+           (static_cast<Vpn>(pd) << 9) | pt;
+}
+
+} // namespace
+
+TEST(PageTable, RadixIndexDecomposition)
+{
+    const Vpn vpn = vpnOf(0xb9, 0x0c, 0xac, 0x03);
+    EXPECT_EQ(PageTable::radixIndex(vpn, 0), 0xb9u);
+    EXPECT_EQ(PageTable::radixIndex(vpn, 1), 0x0cu);
+    EXPECT_EQ(PageTable::radixIndex(vpn, 2), 0xacu);
+    EXPECT_EQ(PageTable::radixIndex(vpn, 3), 0x03u);
+}
+
+TEST(PageTable, MapTranslateRoundtrip)
+{
+    PhysicalMemory phys(1 << 16, false);
+    PageTable pt(phys);
+    pt.map4K(100, 5000);
+    pt.map4K(101, 6000);
+    auto t = pt.translate(100);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->ppn, 5000u);
+    EXPECT_FALSE(t->isLarge);
+    EXPECT_EQ(pt.translate(101)->ppn, 6000u);
+}
+
+TEST(PageTable, UnmappedTranslatesToNothing)
+{
+    PhysicalMemory phys(1 << 16, false);
+    PageTable pt(phys);
+    pt.map4K(100, 1);
+    EXPECT_FALSE(pt.translate(99).has_value());
+    EXPECT_FALSE(pt.translate(vpnOf(1, 0, 0, 0)).has_value());
+}
+
+TEST(PageTable, WalkHasFourLevelsFor4K)
+{
+    PhysicalMemory phys(1 << 16, false);
+    PageTable pt(phys);
+    const Vpn vpn = vpnOf(1, 2, 3, 4);
+    pt.map4K(vpn, 777);
+    auto path = pt.walk(vpn);
+    EXPECT_EQ(path.levels, kWalkLevels4K);
+    EXPECT_EQ(path.result.ppn, 777u);
+    // Entry addresses must be distinct and inside distinct frames.
+    std::set<PhysAddr> addrs(path.entryAddrs.begin(),
+                             path.entryAddrs.end());
+    EXPECT_EQ(addrs.size(), 4u);
+}
+
+TEST(PageTable, RootAddrMatchesWalkLevel0Frame)
+{
+    PhysicalMemory phys(1 << 16, false);
+    PageTable pt(phys);
+    const Vpn vpn = vpnOf(4, 5, 6, 7);
+    pt.map4K(vpn, 1);
+    auto path = pt.walk(vpn);
+    EXPECT_EQ(path.entryAddrs[0] & ~(kPageSize4K - 1), pt.rootAddr());
+    EXPECT_EQ(path.entryAddrs[0] - pt.rootAddr(), 4u * 8u);
+}
+
+TEST(PageTable, PaperFigure8SharedWalkStructure)
+{
+    // The paper's example: three walks to (0xb9,0x0c,0xac,0x03),
+    // (0xb9,0x0c,0xac,0x04), (0xb9,0x0c,0xad,0x05). The PML4 and PDP
+    // references are identical across all three; the two PD entries
+    // 0xac/0xad share a cache line; PT entries 0x03/0x04 share a
+    // line while 0x05 (under a different PT page) does not.
+    PhysicalMemory phys(1 << 16, false);
+    PageTable pt(phys);
+    const Vpn a = vpnOf(0xb9, 0x0c, 0xac, 0x03);
+    const Vpn b = vpnOf(0xb9, 0x0c, 0xac, 0x04);
+    const Vpn c = vpnOf(0xb9, 0x0c, 0xad, 0x05);
+    pt.map4K(a, 10);
+    pt.map4K(b, 11);
+    pt.map4K(c, 12);
+
+    auto pa = pt.walk(a);
+    auto pb = pt.walk(b);
+    auto pc = pt.walk(c);
+
+    // Levels 0 and 1 identical across all walks.
+    EXPECT_EQ(pa.entryAddrs[0], pb.entryAddrs[0]);
+    EXPECT_EQ(pa.entryAddrs[0], pc.entryAddrs[0]);
+    EXPECT_EQ(pa.entryAddrs[1], pb.entryAddrs[1]);
+    EXPECT_EQ(pa.entryAddrs[1], pc.entryAddrs[1]);
+
+    // PD: a and b identical; c differs but shares the line
+    // (indices 0xac and 0xad are 8 bytes apart).
+    EXPECT_EQ(pa.entryAddrs[2], pb.entryAddrs[2]);
+    EXPECT_NE(pa.entryAddrs[2], pc.entryAddrs[2]);
+    EXPECT_EQ(lineAddrOf(pa.entryAddrs[2]),
+              lineAddrOf(pc.entryAddrs[2]));
+
+    // PT: a and b differ but share a line (indices 3 and 4); c is in
+    // a different PT page entirely.
+    EXPECT_NE(pa.entryAddrs[3], pb.entryAddrs[3]);
+    EXPECT_EQ(lineAddrOf(pa.entryAddrs[3]),
+              lineAddrOf(pb.entryAddrs[3]));
+    EXPECT_NE(lineAddrOf(pa.entryAddrs[3]),
+              lineAddrOf(pc.entryAddrs[3]));
+}
+
+TEST(PageTable, LargePageMappingStopsAtPd)
+{
+    PhysicalMemory phys(1 << 20, false);
+    PageTable pt(phys);
+    const std::uint64_t per_large = kPageSize2M / kPageSize4K;
+    const Ppn base = 4 * per_large;
+    pt.map2M(7, base);
+
+    const Vpn vpn4k = (7ULL << 9) | 13; // 4KB page inside the region
+    auto t = pt.translate(vpn4k);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_TRUE(t->isLarge);
+    EXPECT_EQ(t->ppn, base + 13);
+
+    auto path = pt.walk(vpn4k);
+    EXPECT_EQ(path.levels, kWalkLevels2M);
+    EXPECT_TRUE(path.result.isLarge);
+}
+
+TEST(PageTable, TablePagesGrowWithDistinctSubtrees)
+{
+    PhysicalMemory phys(1 << 16, false);
+    PageTable pt(phys);
+    const auto before = pt.tablePages();
+    pt.map4K(vpnOf(0, 0, 0, 0), 1);
+    pt.map4K(vpnOf(0, 0, 0, 1), 2); // shares all tables
+    const auto shared = pt.tablePages();
+    pt.map4K(vpnOf(9, 0, 0, 0), 3); // new PDP/PD/PT chain
+    const auto split = pt.tablePages();
+    EXPECT_EQ(shared - before, 3u); // PDP + PD + PT for subtree 0
+    EXPECT_EQ(split - shared, 3u);
+}
+
+TEST(PageTableDeathTest, DoubleMapPanics)
+{
+    PhysicalMemory phys(1 << 16, false);
+    PageTable pt(phys);
+    pt.map4K(5, 1);
+    EXPECT_DEATH(pt.map4K(5, 2), "already mapped");
+}
+
+TEST(PageTableDeathTest, WalkUnmappedPanics)
+{
+    PhysicalMemory phys(1 << 16, false);
+    PageTable pt(phys);
+    EXPECT_DEATH(pt.walk(1234), "unmapped");
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the named system presets and the experiment runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/presets.hh"
+
+using namespace gpummu;
+
+TEST(Presets, NoTlbDisablesMmu)
+{
+    auto cfg = presets::noTlb();
+    EXPECT_FALSE(cfg.core.mmu.enabled);
+}
+
+TEST(Presets, NaiveTlbMatchesPaperStrawman)
+{
+    auto cfg = presets::naiveTlb(3);
+    EXPECT_TRUE(cfg.core.mmu.enabled);
+    EXPECT_EQ(cfg.core.mmu.tlb.entries, 128u);
+    EXPECT_EQ(cfg.core.mmu.tlb.ports, 3u);
+    EXPECT_FALSE(cfg.core.mmu.hitUnderMiss);
+    EXPECT_FALSE(cfg.core.mmu.cacheOverlap);
+    EXPECT_EQ(cfg.core.mmu.ptw.numWalkers, 1u);
+    EXPECT_FALSE(cfg.core.mmu.ptw.scheduling);
+}
+
+TEST(Presets, AugmentationLadderIsMonotone)
+{
+    auto hum = presets::tlbHitUnderMiss();
+    EXPECT_TRUE(hum.core.mmu.hitUnderMiss);
+    EXPECT_FALSE(hum.core.mmu.cacheOverlap);
+
+    auto ovl = presets::tlbCacheOverlap();
+    EXPECT_TRUE(ovl.core.mmu.hitUnderMiss);
+    EXPECT_TRUE(ovl.core.mmu.cacheOverlap);
+    EXPECT_FALSE(ovl.core.mmu.ptw.scheduling);
+
+    auto aug = presets::augmentedTlb();
+    EXPECT_TRUE(aug.core.mmu.hitUnderMiss);
+    EXPECT_TRUE(aug.core.mmu.cacheOverlap);
+    EXPECT_TRUE(aug.core.mmu.ptw.scheduling);
+    EXPECT_EQ(aug.core.mmu.tlb.ports, 4u);
+}
+
+TEST(Presets, IdealTlbHasNoLatencyPenalty)
+{
+    auto cfg = presets::idealTlb();
+    EXPECT_EQ(cfg.core.mmu.tlb.entries, 512u);
+    EXPECT_EQ(cfg.core.mmu.tlb.ports, 32u);
+    EXPECT_TRUE(cfg.core.mmu.cacti.ideal);
+}
+
+TEST(Presets, SizedSweepConfigs)
+{
+    auto cfg = presets::naiveTlbSized(256, 8, true);
+    EXPECT_EQ(cfg.core.mmu.tlb.entries, 256u);
+    EXPECT_EQ(cfg.core.mmu.tlb.ports, 8u);
+    EXPECT_TRUE(cfg.core.mmu.cacti.ideal);
+}
+
+TEST(Presets, MultiPtw)
+{
+    auto cfg = presets::naiveTlbMultiPtw(8);
+    EXPECT_EQ(cfg.core.mmu.ptw.numWalkers, 8u);
+    EXPECT_FALSE(cfg.core.mmu.ptw.scheduling);
+}
+
+TEST(Presets, SchedulerFamilies)
+{
+    auto ccws = presets::ccws(presets::augmentedTlb());
+    EXPECT_EQ(ccws.sched, SchedulerKind::Ccws);
+    EXPECT_EQ(ccws.ccws.tlbMissWeight, 1u);
+
+    auto ta = presets::taCcws(presets::augmentedTlb(), 4);
+    EXPECT_EQ(ta.sched, SchedulerKind::TaCcws);
+    EXPECT_EQ(ta.ccws.tlbMissWeight, 4u);
+
+    auto tcws = presets::tcws(presets::augmentedTlb(), 8,
+                              {1, 2, 4, 8});
+    EXPECT_EQ(tcws.sched, SchedulerKind::Tcws);
+    EXPECT_EQ(tcws.tcws.vtaEntriesPerWarp, 8u);
+    EXPECT_EQ(tcws.tcws.lruWeights[3], 8u);
+}
+
+TEST(Presets, TbcVariants)
+{
+    auto tbc = presets::tbc(presets::noTlb());
+    EXPECT_EQ(tbc.coreKind, CoreKind::Tbc);
+    EXPECT_FALSE(tbc.tbc.tlbAware);
+
+    auto aware = presets::tlbAwareTbc(presets::augmentedTlb(), 3);
+    EXPECT_TRUE(aware.tbc.tlbAware);
+    EXPECT_EQ(aware.tbc.cpm.counterBits, 3u);
+}
+
+TEST(Presets, LargePages)
+{
+    auto cfg = presets::withLargePages(presets::augmentedTlb());
+    EXPECT_TRUE(cfg.largePages);
+}
+
+TEST(Presets, NamesAreDistinct)
+{
+    std::set<std::string> names;
+    for (const auto &cfg :
+         {presets::noTlb(), presets::naiveTlb(3), presets::naiveTlb(4),
+          presets::tlbHitUnderMiss(), presets::tlbCacheOverlap(),
+          presets::augmentedTlb(), presets::idealTlb(),
+          presets::naiveTlbMultiPtw(8),
+          presets::ccws(presets::noTlb()),
+          presets::taCcws(presets::augmentedTlb(), 4),
+          presets::tcws(presets::augmentedTlb(), 8, {1, 2, 4, 8}),
+          presets::tbc(presets::noTlb()),
+          presets::tlbAwareTbc(presets::augmentedTlb(), 3)}) {
+        EXPECT_TRUE(names.insert(cfg.name).second)
+            << "duplicate preset name " << cfg.name;
+    }
+}
+
+TEST(Experiment, CachesRunsByName)
+{
+    WorkloadParams p;
+    p.scale = 0.02;
+    Experiment exp(p);
+    auto cfg = presets::noTlb();
+    cfg.numCores = 2;
+    const auto a = exp.run(BenchmarkId::Pathfinder, cfg);
+    const auto b = exp.run(BenchmarkId::Pathfinder, cfg);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_GT(a.cycles, 0u);
+}
+
+TEST(Experiment, SpeedupOfBaselineIsOne)
+{
+    WorkloadParams p;
+    p.scale = 0.02;
+    Experiment exp(p);
+    auto cfg = presets::noTlb();
+    cfg.numCores = 2;
+    EXPECT_DOUBLE_EQ(exp.speedup(BenchmarkId::Pathfinder, cfg, cfg),
+                     1.0);
+}
+
+TEST(ReportTable, FormatsNumbersAndRows)
+{
+    EXPECT_EQ(ReportTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(ReportTable::pct(0.1234), "12.3%");
+    ReportTable t({"a", "bb"});
+    t.addRow({"x", "y"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("a"), std::string::npos);
+    EXPECT_NE(os.str().find("x"), std::string::npos);
+}

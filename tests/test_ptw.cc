@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit tests for the page table walkers, including an exact check of
+ * the paper's Figure 8 example (12 naive loads -> 7 scheduled).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mmu/ptw.hh"
+#include "sim/event_queue.hh"
+#include "vm/page_table.hh"
+#include "vm/physical_memory.hh"
+
+using namespace gpummu;
+
+namespace {
+
+Vpn
+vpnOf(unsigned pml4, unsigned pdp, unsigned pd, unsigned pt)
+{
+    return (static_cast<Vpn>(pml4) << 27) |
+           (static_cast<Vpn>(pdp) << 18) |
+           (static_cast<Vpn>(pd) << 9) | pt;
+}
+
+struct PtwFixture : public ::testing::Test
+{
+    PtwFixture()
+        : phys(1 << 18, false), pt(phys), mem(MemorySystemConfig{})
+    {
+    }
+
+    PageWalkers
+    make(const PtwConfig &cfg)
+    {
+        return PageWalkers(cfg, pt, mem, eq);
+    }
+
+    PhysicalMemory phys;
+    PageTable pt;
+    MemorySystem mem;
+    EventQueue eq;
+};
+
+} // namespace
+
+TEST_F(PtwFixture, SingleNaiveWalkCompletes)
+{
+    pt.map4K(1000, 7);
+    PtwConfig cfg;
+    auto w = make(cfg);
+    Vpn done_vpn = 0;
+    Cycle done_at = 0;
+    w.requestBatch({1000}, 10, [&](Vpn v, Cycle c) {
+        done_vpn = v;
+        done_at = c;
+    });
+    eq.runUntil(1'000'000);
+    EXPECT_EQ(done_vpn, 1000u);
+    EXPECT_GT(done_at, 10u);
+    EXPECT_EQ(w.walksCompleted(), 1u);
+    EXPECT_EQ(w.refsIssued(), 4u); // four radix levels
+    EXPECT_FALSE(w.busy());
+}
+
+TEST_F(PtwFixture, PaperFigure8TwelveLoadsBecomeSeven)
+{
+    const Vpn a = vpnOf(0xb9, 0x0c, 0xac, 0x03);
+    const Vpn b = vpnOf(0xb9, 0x0c, 0xac, 0x04);
+    const Vpn c = vpnOf(0xb9, 0x0c, 0xad, 0x05);
+    pt.map4K(a, 1);
+    pt.map4K(b, 2);
+    pt.map4K(c, 3);
+
+    // Naive: 3 walks x 4 references = 12 loads.
+    {
+        PtwConfig cfg;
+        EventQueue eq1;
+        PageWalkers w(cfg, pt, mem, eq1);
+        int done = 0;
+        w.requestBatch({a, b, c}, 0, [&](Vpn, Cycle) { ++done; });
+        eq1.runUntil(1'000'000);
+        EXPECT_EQ(done, 3);
+        EXPECT_EQ(w.refsIssued(), 12u);
+        EXPECT_EQ(w.refsEliminated(), 0u);
+    }
+
+    // Scheduled: PML4 and PDP collapse to one load each, the two
+    // identical PD entries collapse, PT entries all issue:
+    // 1 + 1 + 2 + 3 = 7 loads, 5 eliminated.
+    {
+        PtwConfig cfg;
+        cfg.scheduling = true;
+        EventQueue eq2;
+        PageWalkers w(cfg, pt, mem, eq2);
+        int done = 0;
+        w.requestBatch({a, b, c}, 0, [&](Vpn, Cycle) { ++done; });
+        eq2.runUntil(1'000'000);
+        EXPECT_EQ(done, 3);
+        EXPECT_EQ(w.refsIssued(), 7u);
+        EXPECT_EQ(w.refsEliminated(), 5u);
+        EXPECT_EQ(w.walksCompleted(), 3u);
+    }
+}
+
+TEST_F(PtwFixture, ScheduledBatchFasterThanNaiveSerial)
+{
+    std::vector<Vpn> vpns;
+    for (unsigned i = 0; i < 8; ++i) {
+        vpns.push_back(vpnOf(1, 2, 3, i * 20));
+        pt.map4K(vpns.back(), i);
+    }
+    Cycle naive_end = 0, sched_end = 0;
+    {
+        PtwConfig cfg;
+        EventQueue eq1;
+        PageWalkers w(cfg, pt, mem, eq1);
+        w.requestBatch(vpns, 0, [&](Vpn, Cycle c) {
+            naive_end = std::max(naive_end, c);
+        });
+        eq1.runUntil(10'000'000);
+    }
+    {
+        PtwConfig cfg;
+        cfg.scheduling = true;
+        EventQueue eq2;
+        MemorySystem mem2((MemorySystemConfig()));
+        PageWalkers ws(cfg, pt, mem2, eq2);
+        ws.requestBatch(vpns, 0, [&](Vpn, Cycle c) {
+            sched_end = std::max(sched_end, c);
+        });
+        eq2.runUntil(10'000'000);
+    }
+    EXPECT_LT(sched_end, naive_end);
+}
+
+TEST_F(PtwFixture, MultipleWalkersOverlapWalks)
+{
+    std::vector<Vpn> vpns;
+    for (unsigned i = 0; i < 8; ++i) {
+        vpns.push_back(vpnOf(2, 3, i, 0)); // distinct PD subtrees
+        pt.map4K(vpns.back(), i);
+    }
+    Cycle one_end = 0, eight_end = 0;
+    {
+        PtwConfig cfg;
+        cfg.numWalkers = 1;
+        EventQueue eq1;
+        PageWalkers w(cfg, pt, mem, eq1);
+        w.requestBatch(vpns, 0, [&](Vpn, Cycle c) {
+            one_end = std::max(one_end, c);
+        });
+        eq1.runUntil(10'000'000);
+    }
+    {
+        PtwConfig cfg;
+        cfg.numWalkers = 8;
+        EventQueue eq2;
+        PageWalkers w(cfg, pt, mem, eq2);
+        w.requestBatch(vpns, 0, [&](Vpn, Cycle c) {
+            eight_end = std::max(eight_end, c);
+        });
+        eq2.runUntil(10'000'000);
+    }
+    EXPECT_LT(eight_end, one_end);
+}
+
+TEST_F(PtwFixture, WalkCacheShortensRepeatWalks)
+{
+    pt.map4K(vpnOf(3, 3, 3, 3), 1);
+    pt.map4K(vpnOf(3, 3, 3, 4), 2);
+    PtwConfig cfg;
+    auto w = make(cfg);
+    Cycle first = 0, second = 0;
+    w.requestBatch({vpnOf(3, 3, 3, 3)}, 0,
+                   [&](Vpn, Cycle c) { first = c; });
+    eq.runUntil(1'000'000);
+    const Cycle start2 = eq.now();
+    w.requestBatch({vpnOf(3, 3, 3, 4)}, start2,
+                   [&](Vpn, Cycle c) { second = c; });
+    eq.runUntil(10'000'000);
+    // All four of the second walk's lines were just touched.
+    EXPECT_GT(w.pwcHits(), 0u);
+    EXPECT_LT(second - start2, first);
+}
+
+TEST_F(PtwFixture, TwoMegWalksHaveThreeLevels)
+{
+    const std::uint64_t per_large = kPageSize2M / kPageSize4K;
+    pt.map2M(5, 4 * per_large);
+    PtwConfig cfg;
+    auto w = make(cfg);
+    int done = 0;
+    w.requestBatch({5ULL << 9}, 0, [&](Vpn, Cycle) { ++done; });
+    eq.runUntil(1'000'000);
+    EXPECT_EQ(done, 1);
+    EXPECT_EQ(w.refsIssued(), 3u);
+}
+
+TEST_F(PtwFixture, QueuedWalksAllComplete)
+{
+    std::vector<Vpn> vpns;
+    for (unsigned i = 0; i < 32; ++i) {
+        vpns.push_back(vpnOf(4, 1, i / 8, i % 8));
+        pt.map4K(vpns.back(), i);
+    }
+    PtwConfig cfg;
+    cfg.scheduling = true;
+    auto w = make(cfg);
+    int done = 0;
+    // Two batches back to back; the second queues behind the first.
+    std::vector<Vpn> first(vpns.begin(), vpns.begin() + 16);
+    std::vector<Vpn> second(vpns.begin() + 16, vpns.end());
+    w.requestBatch(first, 0, [&](Vpn, Cycle) { ++done; });
+    w.requestBatch(second, 1, [&](Vpn, Cycle) { ++done; });
+    eq.runUntil(10'000'000);
+    EXPECT_EQ(done, 32);
+    EXPECT_GE(w.refsEliminated(), 1u);
+}

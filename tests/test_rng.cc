@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG and the Zipf sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "sim/rng.hh"
+
+using namespace gpummu;
+
+TEST(SplitMix64, IsDeterministic)
+{
+    EXPECT_EQ(splitMix64(0), splitMix64(0));
+    EXPECT_EQ(splitMix64(42), splitMix64(42));
+    EXPECT_NE(splitMix64(1), splitMix64(2));
+}
+
+TEST(SplitMix64, MixesAdjacentInputs)
+{
+    // Adjacent seeds should differ in roughly half their bits.
+    const std::uint64_t a = splitMix64(100);
+    const std::uint64_t b = splitMix64(101);
+    const int bits = __builtin_popcountll(a ^ b);
+    EXPECT_GT(bits, 16);
+    EXPECT_LT(bits, 48);
+}
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(7), b(8);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(3);
+    const std::uint64_t first = a.next();
+    a.next();
+    a.reseed(3);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(11);
+    for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng r(5);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(13);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.range(10, 13);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 13u);
+        saw_lo = saw_lo || v == 10;
+        saw_hi = saw_hi || v == 13;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(17);
+    double sum = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(23);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng r(29);
+    std::map<std::uint64_t, int> counts;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        counts[r.below(10)]++;
+    for (const auto &[v, c] : counts) {
+        EXPECT_GT(c, n / 10 - n / 30);
+        EXPECT_LT(c, n / 10 + n / 30);
+    }
+}
+
+class ZipfTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZipfTest, SamplesInRangeAndSkewed)
+{
+    const double s = GetParam();
+    ZipfSampler z(1000, s);
+    Rng r(31);
+    std::map<std::uint64_t, int> counts;
+    const int n = 30000;
+    for (int i = 0; i < n; ++i) {
+        const auto v = z.sample(r);
+        ASSERT_LT(v, 1000u);
+        counts[v]++;
+    }
+    // Head should dominate the tail for any positive exponent.
+    int head = 0, tail = 0;
+    for (const auto &[v, c] : counts) {
+        if (v < 10)
+            head += c;
+        if (v >= 990)
+            tail += c;
+    }
+    EXPECT_GT(head, tail * 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfTest,
+                         ::testing::Values(0.5, 0.8, 0.99, 1.2));
+
+TEST(Zipf, HeavierExponentIsMoreSkewed)
+{
+    Rng r1(37), r2(37);
+    ZipfSampler light(1000, 0.5), heavy(1000, 1.3);
+    int light_head = 0, heavy_head = 0;
+    for (int i = 0; i < 20000; ++i) {
+        light_head += (light.sample(r1) < 5);
+        heavy_head += (heavy.sample(r2) < 5);
+    }
+    EXPECT_GT(heavy_head, light_head);
+}
+
+TEST(Zipf, DeterministicGivenRngSeed)
+{
+    ZipfSampler z(500, 0.9);
+    Rng a(41), b(41);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(z.sample(a), z.sample(b));
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the generic set-associative array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/set_assoc.hh"
+
+using namespace gpummu;
+
+TEST(SetAssoc, MissThenHit)
+{
+    SetAssocArray<int> arr(8, 2);
+    EXPECT_FALSE(arr.lookup(5).hit);
+    arr.insert(5, 50);
+    auto res = arr.lookup(5);
+    ASSERT_TRUE(res.hit);
+    EXPECT_EQ(*res.payload, 50);
+    EXPECT_EQ(res.depth, 0u);
+}
+
+TEST(SetAssoc, LruDepthReporting)
+{
+    // Fully associative, 4 ways: depth is position in the LRU stack.
+    SetAssocArray<int> arr(4, 0);
+    arr.insert(1, 0);
+    arr.insert(2, 0);
+    arr.insert(3, 0);
+    // 3 is MRU (depth 0), 1 is LRU (depth 2).
+    EXPECT_EQ(arr.lookup(1).depth, 2u);
+    // The lookup promoted 1 to MRU; 3 is now depth 1.
+    EXPECT_EQ(arr.lookup(3).depth, 1u);
+}
+
+TEST(SetAssoc, EvictsLruVictim)
+{
+    SetAssocArray<int> arr(2, 2); // one set, 2 ways
+    arr.insert(10, 1);
+    arr.insert(12, 2);
+    arr.lookup(10); // promote 10; 12 becomes LRU
+    auto victim = arr.insert(14, 3);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->tag, 12u);
+    EXPECT_EQ(victim->payload, 2);
+    EXPECT_TRUE(arr.lookup(10).hit);
+    EXPECT_TRUE(arr.lookup(14).hit);
+    EXPECT_FALSE(arr.lookup(12).hit);
+}
+
+TEST(SetAssoc, InsertExistingOverwritesWithoutVictim)
+{
+    SetAssocArray<int> arr(2, 2);
+    arr.insert(10, 1);
+    arr.insert(12, 2);
+    auto victim = arr.insert(10, 99);
+    EXPECT_FALSE(victim.has_value());
+    EXPECT_EQ(*arr.lookup(10).payload, 99);
+    EXPECT_EQ(arr.occupancy(), 2u);
+}
+
+TEST(SetAssoc, SetsAreIndependent)
+{
+    SetAssocArray<int> arr(4, 2); // 2 sets
+    // Tags 0 and 2 map to set 0; 1 and 3 to set 1.
+    arr.insert(0, 0);
+    arr.insert(2, 0);
+    arr.insert(4, 0); // evicts from set 0 only
+    EXPECT_TRUE(arr.lookup(1).hit == false);
+    arr.insert(1, 0);
+    arr.insert(3, 0);
+    EXPECT_TRUE(arr.lookup(1).hit);
+    EXPECT_TRUE(arr.lookup(3).hit);
+}
+
+TEST(SetAssoc, PeekDoesNotPromote)
+{
+    SetAssocArray<int> arr(2, 2);
+    arr.insert(10, 1);
+    arr.insert(12, 2);
+    EXPECT_NE(arr.peek(10), nullptr);
+    // 10 must still be LRU: inserting evicts it.
+    auto victim = arr.insert(14, 3);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->tag, 10u);
+}
+
+TEST(SetAssoc, InvalidateRemovesEntry)
+{
+    SetAssocArray<int> arr(4, 4);
+    arr.insert(7, 1);
+    EXPECT_TRUE(arr.invalidate(7));
+    EXPECT_FALSE(arr.lookup(7).hit);
+    EXPECT_FALSE(arr.invalidate(7));
+}
+
+TEST(SetAssoc, FlushEmptiesEverything)
+{
+    SetAssocArray<int> arr(8, 2);
+    for (int i = 0; i < 8; ++i)
+        arr.insert(static_cast<std::uint64_t>(i), i);
+    EXPECT_GT(arr.occupancy(), 0u);
+    arr.flush();
+    EXPECT_EQ(arr.occupancy(), 0u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_FALSE(arr.lookup(static_cast<std::uint64_t>(i)).hit);
+}
+
+TEST(SetAssoc, ZeroWaysMeansFullyAssociative)
+{
+    SetAssocArray<int> arr(6, 0);
+    EXPECT_EQ(arr.numSets(), 1u);
+    EXPECT_EQ(arr.ways(), 6u);
+}
+
+class SetAssocParamTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>>
+{
+};
+
+TEST_P(SetAssocParamTest, CapacityIsRespected)
+{
+    const auto [entries, ways] = GetParam();
+    SetAssocArray<int> arr(entries, ways);
+    // Insert 4x capacity; occupancy never exceeds total entries.
+    for (std::uint64_t t = 0; t < 4 * entries; ++t) {
+        arr.insert(t, 0);
+        ASSERT_LE(arr.occupancy(), entries);
+    }
+    EXPECT_EQ(arr.occupancy(), entries);
+}
+
+TEST_P(SetAssocParamTest, MostRecentWithinWaysAlwaysHit)
+{
+    const auto [entries, ways] = GetParam();
+    SetAssocArray<int> arr(entries, ways);
+    const std::size_t sets = entries / (ways ? ways : entries);
+    // Insert one run of tags that all map to set 0.
+    const std::size_t w = ways ? ways : entries;
+    for (std::size_t i = 0; i < 3 * w; ++i)
+        arr.insert(i * sets, 0);
+    // The last `ways` inserted tags must be present.
+    for (std::size_t i = 2 * w; i < 3 * w; ++i)
+        EXPECT_TRUE(arr.lookup(i * sets).hit) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SetAssocParamTest,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(8, 2),
+                      std::make_pair<std::size_t, std::size_t>(16, 4),
+                      std::make_pair<std::size_t, std::size_t>(128, 4),
+                      std::make_pair<std::size_t, std::size_t>(16, 16),
+                      std::make_pair<std::size_t, std::size_t>(64, 8)));
+
+TEST(SetAssocDeathTest, IndivisibleGeometryPanics)
+{
+    EXPECT_DEATH(SetAssocArray<int>(10, 4), "divisible");
+}

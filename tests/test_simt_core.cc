@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the per-warp-stack shader core running small kernels end
+ * to end on one core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gpu/gpu_top.hh"
+#include "gpu/simt_core.hh"
+#include "workloads/workload.hh"
+
+using namespace gpummu;
+
+namespace {
+
+/** A tiny synthetic workload with a loop and a divergent branch. */
+class TinyWorkload : public Workload
+{
+  public:
+    TinyWorkload(unsigned blocks, unsigned iters, double active_p)
+        : Workload(WorkloadParams{}), prog_("tiny"), blocks_(blocks),
+          iters_(iters), activeP_(active_p)
+    {
+    }
+
+    std::string name() const override { return "tiny"; }
+    const KernelProgram &program() const override { return prog_; }
+    unsigned threadsPerBlock() const override { return 64; }
+    unsigned numBlocks() const override { return blocks_; }
+
+    void
+    build(AddressSpace &as) override
+    {
+        region_ = as.mmap("tiny.data", 64 * kPageSize4K);
+        const int stream = prog_.addAddrGen([this](ThreadCtx &c) {
+            return region_.base +
+                   (static_cast<VirtAddr>(c.globalTid) * 4 +
+                    c.visits(1) * 256) %
+                       region_.bytes;
+        });
+        const int active = prog_.addCondGen([this](ThreadCtx &c) {
+            return c.rng.chance(activeP_);
+        });
+        const int loop = prog_.addCondGen([this](ThreadCtx &c) {
+            return c.visits(1) < iters_;
+        });
+        const int b0 = prog_.addBlock();
+        const int b1 = prog_.addBlock(); // loop head
+        const int b2 = prog_.addBlock(); // divergent work
+        const int b3 = prog_.addBlock(); // join
+        const int b4 = prog_.addBlock(); // exit
+        prog_.appendAlu(b0, 1);
+        prog_.appendBranch(b0, -1, b1, -1, -1);
+        prog_.appendLoad(b1, stream);
+        prog_.appendAlu(b1, 2);
+        prog_.appendBranch(b1, active, b2, b3, b3);
+        prog_.appendAlu(b2, 3);
+        prog_.appendStore(b2, stream);
+        prog_.appendBranch(b2, -1, b3, -1, -1);
+        prog_.appendBranch(b3, loop, b1, b4, b4);
+        prog_.appendExit(b4);
+    }
+
+  private:
+    KernelProgram prog_;
+    unsigned blocks_;
+    unsigned iters_;
+    double activeP_;
+    VmRegion region_;
+};
+
+RunStats
+runTiny(const CoreConfig &core_cfg, unsigned blocks = 4,
+        unsigned iters = 6, double active = 0.5,
+        unsigned num_cores = 2)
+{
+    TinyWorkload wl(blocks, iters, active);
+    GpuTop gpu(
+        num_cores, MemorySystemConfig{}, wl,
+        [&core_cfg](int id, const LaunchParams &l, AddressSpace &as,
+                    MemorySystem &m,
+                    EventQueue &e) -> std::unique_ptr<ShaderCore> {
+            return std::make_unique<SimtCore>(id, core_cfg, l, as, m,
+                                              e);
+        });
+    return gpu.run(50'000'000);
+}
+
+} // namespace
+
+TEST(SimtCore, RunsToCompletion)
+{
+    auto stats = runTiny(CoreConfig{});
+    EXPECT_GT(stats.cycles, 0u);
+    EXPECT_GT(stats.instructions, 0u);
+    EXPECT_GT(stats.memInstructions, 0u);
+}
+
+TEST(SimtCore, InstructionCountScalesExactlyWithIterations)
+{
+    // With activity probability 0 the divergent block never runs, so
+    // adding one loop iteration adds exactly one pass over b1 (load +
+    // 2 alu + branch) and b3's branch per warp: 5 instructions.
+    auto four = runTiny(CoreConfig{}, /*blocks=*/2, /*iters=*/4,
+                        /*active=*/0.0, /*cores=*/1);
+    auto five = runTiny(CoreConfig{}, /*blocks=*/2, /*iters=*/5,
+                        /*active=*/0.0, /*cores=*/1);
+    const unsigned warps = 2 * (64 / 32);
+    EXPECT_EQ(five.instructions - four.instructions, warps * 5u);
+}
+
+TEST(SimtCore, FullyActiveBranchNeverDiverges)
+{
+    auto a = runTiny(CoreConfig{}, 2, 4, 1.0, 1);
+    auto b = runTiny(CoreConfig{}, 2, 4, 0.5, 1);
+    // With p=1 all threads take the branch together; with p=0.5 the
+    // divergent path roughly doubles the executed blocks.
+    EXPECT_LT(a.instructions, b.instructions + 16 * 4 * 4);
+}
+
+TEST(SimtCore, DeterministicAcrossRuns)
+{
+    auto a = runTiny(CoreConfig{});
+    auto b = runTiny(CoreConfig{});
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.l1Accesses, b.l1Accesses);
+    EXPECT_EQ(a.tlbAccesses, b.tlbAccesses);
+}
+
+TEST(SimtCore, TlbConfigChangesTiming)
+{
+    CoreConfig no_tlb;
+    no_tlb.mmu.enabled = false;
+    CoreConfig blocking;
+    blocking.mmu.enabled = true;
+    blocking.mmu.hitUnderMiss = false;
+    auto base = runTiny(no_tlb);
+    auto naive = runTiny(blocking);
+    EXPECT_GT(naive.cycles, base.cycles);
+    EXPECT_GT(naive.tlbAccesses, 0u);
+}
+
+TEST(SimtCore, HitUnderMissBeatsBlockingHere)
+{
+    CoreConfig blocking;
+    blocking.mmu.hitUnderMiss = false;
+    CoreConfig hum;
+    hum.mmu.hitUnderMiss = true;
+    hum.mmu.cacheOverlap = true;
+    hum.mmu.ptw.scheduling = true;
+    auto b = runTiny(blocking, 8, 10, 0.5, 2);
+    auto h = runTiny(hum, 8, 10, 0.5, 2);
+    EXPECT_LE(h.cycles, b.cycles);
+}
+
+TEST(SimtCore, BlocksDrainAcrossWaves)
+{
+    // More blocks than can be resident at once (64-thread blocks,
+    // 48 warp slots -> 24 resident blocks per core; run 60 on 1 core).
+    auto stats = runTiny(CoreConfig{}, /*blocks=*/60, 3, 0.4, 1);
+    EXPECT_GT(stats.instructions, 0u);
+}

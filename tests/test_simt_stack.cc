@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for the per-warp SIMT reconvergence stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/simt_stack.hh"
+
+using namespace gpummu;
+
+namespace {
+
+constexpr LaneMask kFull = 0xffffffffULL;
+
+} // namespace
+
+TEST(SimtStack, ResetGivesSingleEntry)
+{
+    SimtStack s;
+    s.reset(0, kFull);
+    EXPECT_EQ(s.depth(), 1u);
+    EXPECT_EQ(s.top().block, 0);
+    EXPECT_EQ(s.top().mask, kFull);
+    EXPECT_EQ(s.top().popAt, -1);
+}
+
+TEST(SimtStack, UniformTakenJustRedirects)
+{
+    SimtStack s;
+    s.reset(0, kFull);
+    EXPECT_FALSE(s.branch(kFull, 0, 3, 4, 5));
+    EXPECT_EQ(s.depth(), 1u);
+    EXPECT_EQ(s.top().block, 3);
+    EXPECT_EQ(s.top().instIdx, 0);
+}
+
+TEST(SimtStack, UniformFallJustRedirects)
+{
+    SimtStack s;
+    s.reset(0, kFull);
+    EXPECT_FALSE(s.branch(0, kFull, 3, 4, 5));
+    EXPECT_EQ(s.top().block, 4);
+}
+
+TEST(SimtStack, DivergencePushesTakenOnTop)
+{
+    SimtStack s;
+    s.reset(0, kFull);
+    const LaneMask taken = 0xffffULL;
+    const LaneMask fall = kFull & ~taken;
+    EXPECT_TRUE(s.branch(taken, fall, 1, 2, 3));
+    ASSERT_EQ(s.depth(), 3u);
+    EXPECT_EQ(s.top().block, 1);
+    EXPECT_EQ(s.top().mask, taken);
+    EXPECT_EQ(s.top().popAt, 3);
+}
+
+TEST(SimtStack, ReconvergenceUnwindsToJoinWithFullMask)
+{
+    SimtStack s;
+    s.reset(0, kFull);
+    const LaneMask taken = 0xffULL;
+    s.branch(taken, kFull & ~taken, 1, 2, 3);
+
+    // Taken path reaches the join.
+    s.top().block = 3;
+    s.top().instIdx = 0;
+    s.reconverge();
+    // Now the fall path runs.
+    EXPECT_EQ(s.top().block, 2);
+    EXPECT_EQ(s.top().mask, kFull & ~taken);
+    s.top().block = 3;
+    s.top().instIdx = 0;
+    s.reconverge();
+    // Join block executes with the original full mask.
+    EXPECT_EQ(s.depth(), 1u);
+    EXPECT_EQ(s.top().block, 3);
+    EXPECT_EQ(s.top().mask, kFull);
+}
+
+TEST(SimtStack, LoopWithEarlyExitLanes)
+{
+    // Loop body block 1, exit block 2. Lanes leave one at a time.
+    SimtStack s;
+    s.reset(1, 0xfULL);
+    // Iteration 1: lanes 0-2 continue, lane 3 exits.
+    EXPECT_TRUE(s.branch(0x7, 0x8, 1, 2, 2));
+    EXPECT_EQ(s.top().block, 1);
+    EXPECT_EQ(s.top().mask, 0x7ULL);
+    // Iteration 2: all remaining exit (uniform fall).
+    EXPECT_FALSE(s.branch(0, 0x7, 1, 2, 2));
+    s.reconverge();
+    // Unwound to the continuation at block 2 with all lanes.
+    EXPECT_EQ(s.top().block, 2);
+    EXPECT_EQ(s.top().mask, 0xfULL);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, NestedDivergence)
+{
+    SimtStack s;
+    s.reset(0, 0xffULL);
+    s.branch(0x0f, 0xf0, 1, 2, 5);       // outer
+    EXPECT_EQ(s.top().block, 1);
+    s.branch(0x03, 0x0c, 3, 4, 5);       // inner, within taken path
+    EXPECT_EQ(s.top().block, 3);
+    EXPECT_EQ(s.top().mask, 0x03ULL);
+    // Unwind inner taken.
+    s.top().block = 5;
+    s.top().instIdx = 0;
+    s.reconverge();
+    EXPECT_EQ(s.top().block, 4);
+    EXPECT_EQ(s.top().mask, 0x0cULL);
+    // Unwind inner fall; the inner continuation at 5 pops because its
+    // popAt is also 5, landing on the outer fall path.
+    s.top().block = 5;
+    s.top().instIdx = 0;
+    s.reconverge();
+    EXPECT_EQ(s.top().block, 2);
+    EXPECT_EQ(s.top().mask, 0xf0ULL);
+}
+
+TEST(SimtStack, ClearLanesDropsExitedThreads)
+{
+    SimtStack s;
+    s.reset(0, 0xffULL);
+    s.branch(0x0f, 0xf0, 1, 2, 3);
+    s.clearLanes(0x0f);
+    s.reconverge(); // taken entry emptied, pops
+    EXPECT_EQ(s.top().block, 2);
+    EXPECT_EQ(s.top().mask, 0xf0ULL);
+    s.clearLanes(0xf0);
+    s.reconverge();
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(SimtStack, EnteredFlagResetsOnTransition)
+{
+    SimtStack s;
+    s.reset(0, kFull);
+    s.top().entered = true;
+    s.branch(kFull, 0, 1, 2, 3);
+    EXPECT_FALSE(s.top().entered);
+}

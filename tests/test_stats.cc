@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace gpummu;
+
+TEST(Counter, StartsAtZeroAndAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ScalarStat, SetAddReset)
+{
+    ScalarStat s;
+    s.set(2.5);
+    s.add(1.5);
+    EXPECT_DOUBLE_EQ(s.value(), 4.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Histogram, SummaryOnly)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    h.sample(10);
+    h.sample(20);
+    h.sample(30);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 60u);
+    EXPECT_EQ(h.min(), 10u);
+    EXPECT_EQ(h.max(), 30u);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    Histogram h;
+    h.sample(5, 4);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 20u);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(Histogram, ZeroCountSampleIgnored)
+{
+    Histogram h;
+    h.sample(5, 0);
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(10, 3); // buckets [0,10) [10,20) [20,30) + overflow
+    h.sample(0);
+    h.sample(9);
+    h.sample(15);
+    h.sample(25);
+    h.sample(1000);
+    ASSERT_EQ(h.buckets().size(), 4u);
+    EXPECT_EQ(h.buckets()[0], 2u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[2], 1u);
+    EXPECT_EQ(h.buckets()[3], 1u); // overflow
+}
+
+TEST(Histogram, ResetClearsEverything)
+{
+    Histogram h(10, 2);
+    h.sample(5);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    for (auto b : h.buckets())
+        EXPECT_EQ(b, 0u);
+}
+
+TEST(StatRegistry, FindAndDump)
+{
+    StatRegistry reg;
+    Counter c;
+    ScalarStat s;
+    Histogram h;
+    reg.addCounter("a.count", &c);
+    reg.addScalar("a.rate", &s);
+    reg.addHistogram("a.lat", &h);
+
+    c.inc(3);
+    s.set(1.5);
+    h.sample(7);
+
+    EXPECT_EQ(reg.findCounter("a.count"), &c);
+    EXPECT_EQ(reg.findScalar("a.rate"), &s);
+    EXPECT_EQ(reg.findHistogram("a.lat"), &h);
+    EXPECT_EQ(reg.findCounter("missing"), nullptr);
+
+    std::ostringstream os;
+    reg.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("a.count 3"), std::string::npos);
+    EXPECT_NE(out.find("a.rate 1.5"), std::string::npos);
+    EXPECT_NE(out.find("a.lat.count 1"), std::string::npos);
+}
+
+TEST(StatRegistry, ResetAllZeroesEverything)
+{
+    StatRegistry reg;
+    Counter c;
+    Histogram h;
+    reg.addCounter("x", &c);
+    reg.addHistogram("y", &h);
+    c.inc(9);
+    h.sample(3);
+    reg.resetAll();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(StatRegistryDeathTest, DuplicateNamePanics)
+{
+    StatRegistry reg;
+    Counter a, b;
+    reg.addCounter("dup", &a);
+    EXPECT_DEATH(reg.addCounter("dup", &b), "duplicate");
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for the per-core TLB.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mmu/tlb.hh"
+
+using namespace gpummu;
+
+TEST(Tlb, MissThenFillThenHit)
+{
+    Tlb tlb(TlbConfig{});
+    EXPECT_FALSE(tlb.lookup(100, 0).hit);
+    tlb.fill(100, Translation{42, false});
+    auto res = tlb.lookup(100, 0);
+    ASSERT_TRUE(res.hit);
+    EXPECT_EQ(res.ppn, 42u);
+    EXPECT_FALSE(res.isLarge);
+}
+
+TEST(Tlb, StatsCountAccessesAndHits)
+{
+    Tlb tlb(TlbConfig{});
+    tlb.lookup(1, 0);
+    tlb.fill(1, Translation{9, false});
+    tlb.lookup(1, 0);
+    tlb.lookup(2, 0);
+    EXPECT_EQ(tlb.accesses(), 3u);
+    EXPECT_EQ(tlb.hits(), 1u);
+    EXPECT_EQ(tlb.misses(), 2u);
+}
+
+TEST(Tlb, UnrecordedLookupSkipsStats)
+{
+    Tlb tlb(TlbConfig{});
+    tlb.fill(1, Translation{9, false});
+    tlb.lookup(1, 0, /*record=*/false);
+    EXPECT_EQ(tlb.accesses(), 0u);
+}
+
+TEST(Tlb, ProbeIsNonMutating)
+{
+    TlbConfig cfg;
+    cfg.entries = 4;
+    cfg.ways = 4;
+    Tlb tlb(cfg);
+    tlb.fill(1, Translation{1, false});
+    tlb.fill(2, Translation{2, false});
+    tlb.fill(3, Translation{3, false});
+    tlb.fill(4, Translation{4, false});
+    EXPECT_TRUE(tlb.probe(1)); // must NOT promote 1
+    tlb.fill(5, Translation{5, false});
+    EXPECT_FALSE(tlb.probe(1)); // 1 was still LRU and got evicted
+    EXPECT_EQ(tlb.accesses(), 0u);
+}
+
+TEST(Tlb, LruDepthVisibleToScheduler)
+{
+    TlbConfig cfg;
+    cfg.entries = 4;
+    cfg.ways = 4;
+    Tlb tlb(cfg);
+    tlb.fill(10, Translation{0, false});
+    tlb.fill(11, Translation{0, false});
+    tlb.fill(12, Translation{0, false});
+    EXPECT_EQ(tlb.lookup(10, 0).depth, 2u);
+    EXPECT_EQ(tlb.lookup(10, 0).depth, 0u); // promoted by prior hit
+}
+
+TEST(Tlb, WarpHistoryRecordsRecentWarps)
+{
+    Tlb tlb(TlbConfig{});
+    tlb.fill(7, Translation{1, false});
+    tlb.lookup(7, 3);
+    auto res = tlb.lookup(7, 5);
+    // The snapshot predates this access: warp 3 only.
+    ASSERT_EQ(res.historyUsed, 1u);
+    EXPECT_EQ(res.history[0], 3);
+    auto res2 = tlb.lookup(7, 9);
+    ASSERT_EQ(res2.historyUsed, 2u);
+    EXPECT_EQ(res2.history[0], 5);
+    EXPECT_EQ(res2.history[1], 3);
+}
+
+TEST(Tlb, HistoryDoesNotDuplicateHead)
+{
+    Tlb tlb(TlbConfig{});
+    tlb.fill(7, Translation{1, false});
+    tlb.lookup(7, 3);
+    tlb.lookup(7, 3);
+    auto res = tlb.lookup(7, 4);
+    EXPECT_EQ(res.historyUsed, 1u);
+    EXPECT_EQ(res.history[0], 3);
+}
+
+TEST(Tlb, HistoryBoundedByConfig)
+{
+    TlbConfig cfg;
+    cfg.historyLength = 2; // the paper's length
+    Tlb tlb(cfg);
+    tlb.fill(7, Translation{1, false});
+    tlb.lookup(7, 1);
+    tlb.lookup(7, 2);
+    tlb.lookup(7, 3);
+    auto res = tlb.lookup(7, 4);
+    EXPECT_EQ(res.historyUsed, 2u);
+    EXPECT_EQ(res.history[0], 3);
+    EXPECT_EQ(res.history[1], 2);
+}
+
+TEST(Tlb, EvictionListenerReportsAllocWarp)
+{
+    TlbConfig cfg;
+    cfg.entries = 4;
+    cfg.ways = 4;
+    Tlb tlb(cfg);
+    Vpn evicted = 0;
+    int warp = -1;
+    tlb.setEvictionListener([&](Vpn v, int w) {
+        evicted = v;
+        warp = w;
+    });
+    tlb.fill(1, Translation{0, false}, 11);
+    tlb.fill(2, Translation{0, false}, 12);
+    tlb.fill(3, Translation{0, false}, 13);
+    tlb.fill(4, Translation{0, false}, 14);
+    tlb.fill(5, Translation{0, false}, 15);
+    EXPECT_EQ(evicted, 1u);
+    EXPECT_EQ(warp, 11);
+}
+
+TEST(Tlb, FlushEmptiesAndCounts)
+{
+    Tlb tlb(TlbConfig{});
+    tlb.fill(1, Translation{0, false});
+    tlb.flush();
+    EXPECT_FALSE(tlb.probe(1));
+    EXPECT_EQ(tlb.flushes(), 1u);
+}
+
+TEST(Tlb, LargePageEntries)
+{
+    Tlb tlb(TlbConfig{});
+    tlb.fill(3, Translation{77, true});
+    auto res = tlb.lookup(3, 0);
+    ASSERT_TRUE(res.hit);
+    EXPECT_TRUE(res.isLarge);
+    EXPECT_EQ(res.ppn, 77u);
+}
