@@ -7,6 +7,9 @@
  *                 larger values approach the paper's footprints)
  *   --seed=<n>    workload seed
  *   --bench=<name> run a single benchmark instead of all six
+ *   --jobs=<n>    sweep worker threads (default: GPUMMU_JOBS env,
+ *                 else all hardware threads; results are identical
+ *                 at any job count)
  */
 
 #ifndef BENCH_BENCH_UTIL_HH
@@ -20,6 +23,7 @@
 
 #include "core/experiment.hh"
 #include "core/presets.hh"
+#include "core/sweep.hh"
 
 namespace gpummu {
 namespace benchutil {
@@ -28,6 +32,8 @@ struct Options
 {
     WorkloadParams params;
     std::vector<BenchmarkId> benchmarks;
+    /** Sweep worker threads; 0 resolves via GPUMMU_JOBS. */
+    unsigned jobs = 0;
 };
 
 inline Options
@@ -46,6 +52,12 @@ parse(int argc, char **argv, double default_scale = 0.25)
         };
         if (const char *v = value("--scale")) {
             opt.params.scale = std::atof(v);
+        } else if (const char *v = value("--jobs")) {
+            opt.jobs = static_cast<unsigned>(std::atoi(v));
+            if (opt.jobs == 0) {
+                std::cerr << "--jobs wants a positive int\n";
+                std::exit(1);
+            }
         } else if (const char *v = value("--seed")) {
             opt.params.seed =
                 static_cast<std::uint64_t>(std::atoll(v));
@@ -65,6 +77,25 @@ parse(int argc, char **argv, double default_scale = 0.25)
         }
     }
     return opt;
+}
+
+/**
+ * Simulate the (benchmark x config) cross product on @p jobs worker
+ * threads, filling @p exp's memo cache so the serial table-printing
+ * code below each figure gets every value as a cache hit. Shared
+ * baselines are simulated once across the whole grid.
+ */
+inline void
+prewarm(Experiment &exp, const std::vector<BenchmarkId> &benchmarks,
+        const std::vector<SystemConfig> &configs, unsigned jobs)
+{
+    std::vector<SweepPoint> grid;
+    grid.reserve(benchmarks.size() * configs.size());
+    for (BenchmarkId id : benchmarks) {
+        for (const SystemConfig &cfg : configs)
+            grid.push_back(SweepPoint{id, cfg});
+    }
+    SweepRunner(exp, jobs).run(grid);
 }
 
 /** Geometric mean helper for "average speedup" rows. */

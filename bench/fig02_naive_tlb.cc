@@ -33,6 +33,11 @@ main(int argc, char **argv)
     std::cout << "=== Figure 2: naive 3-port TLBs vs no-TLB baseline "
                  "===\nscale=" << opt.params.scale << "\n\n";
 
+    benchutil::prewarm(exp, opt.benchmarks,
+                       {base, naive, ccws_nt, ccws_tlb, tbc_nt,
+                        tbc_tlb},
+                       opt.jobs);
+
     ReportTable table({"benchmark", "naive-tlb", "ccws", "ccws+tlb",
                        "tbc", "tbc+tlb"});
     std::vector<double> naive_speedups;

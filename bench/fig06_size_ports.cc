@@ -29,6 +29,14 @@ main(int argc, char **argv)
                  "access times) ===\nscale=" << opt.params.scale
               << "\n\n";
 
+    std::vector<SystemConfig> grid_cfgs = {base};
+    for (std::size_t size : sizes) {
+        for (unsigned p : ports)
+            grid_cfgs.push_back(presets::naiveTlbSized(size, p));
+        grid_cfgs.push_back(presets::naiveTlbSized(size, 32, true));
+    }
+    benchutil::prewarm(exp, opt.benchmarks, grid_cfgs, opt.jobs);
+
     for (BenchmarkId id : opt.benchmarks) {
         std::cout << benchmarkName(id) << ":\n";
         ReportTable table({"entries", "3 ports", "4 ports",

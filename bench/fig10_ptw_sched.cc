@@ -28,6 +28,9 @@ main(int argc, char **argv)
     std::cout << "=== Figure 10: + PTW scheduling (augmented MMU) "
                  "===\nscale=" << opt.params.scale << "\n\n";
 
+    benchutil::prewarm(exp, opt.benchmarks, {base, ovl, aug, ideal},
+                       opt.jobs);
+
     ReportTable table({"benchmark", "non-blocking", "+ptw-sched",
                        "ideal", "refs-eliminated%", "walk-l2-hit%"});
     for (BenchmarkId id : opt.benchmarks) {

@@ -32,6 +32,11 @@ main(int argc, char **argv)
     std::cout << "=== Figure 13: CCWS x address translation ===\n"
               << "scale=" << opt.params.scale << "\n\n";
 
+    benchutil::prewarm(exp, opt.benchmarks,
+                       {base, naive, aug, ccws_nt, ccws_naive,
+                        ccws_aug},
+                       opt.jobs);
+
     ReportTable table({"benchmark", "naive-tlb", "augmented",
                        "ccws(no-tlb)", "ccws+naive", "ccws+augmented",
                        "ccws-tlbmiss%"});

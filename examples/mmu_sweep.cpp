@@ -6,13 +6,19 @@
  * multiple walkers, ideal). Useful for seeing where each feature's
  * win comes from.
  *
- * Usage: mmu_sweep [benchmark] [scale]
+ * The ladder runs through SweepRunner, so the points simulate in
+ * parallel; results are deterministic and identical at any job
+ * count.
+ *
+ * Usage: mmu_sweep [benchmark] [scale] [jobs]
+ *        (jobs defaults to GPUMMU_JOBS, else all hardware threads)
  */
 
 #include <iostream>
 
 #include "core/experiment.hh"
 #include "core/presets.hh"
+#include "core/sweep.hh"
 
 using namespace gpummu;
 
@@ -23,6 +29,8 @@ main(int argc, char **argv)
     WorkloadParams params;
     params.scale = argc > 2 ? std::atof(argv[2]) : 0.25;
     params.seed = 42;
+    const unsigned jobs =
+        argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 0;
 
     BenchmarkId bench = BenchmarkId::Bfs;
     for (BenchmarkId id : allBenchmarks()) {
@@ -43,19 +51,32 @@ main(int argc, char **argv)
         presets::idealTlb(),
     };
 
+    // Fan the whole ladder (baseline first) out over worker threads.
+    std::vector<SweepPoint> grid;
+    grid.push_back(SweepPoint{bench, base});
+    for (const auto &cfg : ladder)
+        grid.push_back(SweepPoint{bench, cfg});
+    SweepRunner runner(exp, jobs);
+    const auto results = runner.run(grid);
+
+    std::cout << "ran " << grid.size() << " design points on "
+              << runner.jobs() << " worker threads\n\n";
+
     ReportTable table({"config", "cycles", "tlb-miss%", "walk-lat",
                        "refs-elim", "speedup"});
-    const RunStats b = exp.run(bench, base);
+    const RunStats b = results.front().stats;
     table.addRow({base.name, std::to_string(b.cycles), "-", "-", "-",
                   "1.000"});
-    for (const auto &cfg : ladder) {
-        const RunStats s = exp.run(bench, cfg);
+    for (std::size_t i = 0; i < ladder.size(); ++i) {
+        const RunStats s = results[i + 1].stats;
         table.addRow(
-            {cfg.name, std::to_string(s.cycles),
+            {ladder[i].name, std::to_string(s.cycles),
              ReportTable::pct(s.tlbMissRate()),
              ReportTable::num(s.avgTlbMissLatency, 0),
              std::to_string(s.walkRefsEliminated),
-             ReportTable::num(exp.speedup(bench, cfg, base), 3)});
+             ReportTable::num(static_cast<double>(b.cycles) /
+                                  static_cast<double>(s.cycles),
+                              3)});
     }
     table.print(std::cout);
     return 0;

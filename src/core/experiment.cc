@@ -53,16 +53,37 @@ makeCoreFactory(const SystemConfig &cfg)
 
 } // namespace
 
-RunStats
-runConfig(BenchmarkId bench, const SystemConfig &cfg,
-          const WorkloadParams &params)
+namespace {
+
+RunOutput
+finishRun(GpuTop &gpu, BenchmarkId bench, const SystemConfig &cfg)
+{
+    RunOutput out;
+    out.stats = gpu.run(cfg.maxCycles);
+    std::ostringstream os;
+    os << "{\"bench\":\"" << jsonEscape(benchmarkName(bench))
+       << "\",\"config\":\"" << jsonEscape(cfg.name)
+       << "\",\"summary\":";
+    dumpRunStatsJson(os, out.stats);
+    os << ",\"stats\":";
+    gpu.stats().dumpJson(os);
+    os << "}";
+    out.statsJson = os.str();
+    return out;
+}
+
+} // namespace
+
+RunOutput
+runConfigFull(BenchmarkId bench, const SystemConfig &cfg,
+              const WorkloadParams &params)
 {
     auto workload = makeWorkload(bench, params);
     if (!cfg.iommu) {
         GpuTop gpu(cfg.numCores, cfg.mem, *workload,
                    makeCoreFactory(cfg), cfg.largePages,
                    cfg.physFrames);
-        return gpu.run(cfg.maxCycles);
+        return finishRun(gpu, bench, cfg);
     }
 
     // IOMMU mode: one shared translation unit for the whole GPU,
@@ -88,19 +109,63 @@ runConfig(BenchmarkId bench, const SystemConfig &cfg,
                cfg.largePages, cfg.physFrames);
     if (*iommu_holder)
         (*iommu_holder)->regStats(gpu.stats(), "iommu");
-    return gpu.run(cfg.maxCycles);
+    return finishRun(gpu, bench, cfg);
+}
+
+RunStats
+runConfig(BenchmarkId bench, const SystemConfig &cfg,
+          const WorkloadParams &params)
+{
+    return runConfigFull(bench, cfg, params).stats;
+}
+
+const RunOutput &
+Experiment::runFull(BenchmarkId bench, const SystemConfig &cfg)
+{
+    // cfg.name alone does not encode every field callers vary (tests
+    // shrink numCores without renaming), so widen the key a little.
+    const std::string key = benchmarkName(bench) + "/" + cfg.name +
+                            "/c" + std::to_string(cfg.numCores);
+
+    // Either adopt an existing latch for the key or install our own;
+    // only the installing thread simulates, everyone else blocks on
+    // the shared_future.
+    std::promise<RunOutput> promise;
+    std::shared_future<RunOutput> latch;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = cache_.find(key);
+        if (it == cache_.end()) {
+            latch = promise.get_future().share();
+            cache_.emplace(key, latch);
+            misses_++;
+            owner = true;
+        } else {
+            latch = it->second;
+        }
+    }
+    if (owner) {
+        try {
+            promise.set_value(runConfigFull(bench, cfg, params_));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return latch.get();
 }
 
 RunStats
 Experiment::run(BenchmarkId bench, const SystemConfig &cfg)
 {
-    const std::string key = benchmarkName(bench) + "/" + cfg.name;
-    auto it = cache_.find(key);
-    if (it != cache_.end())
-        return it->second;
-    RunStats stats = runConfig(bench, cfg, params_);
-    cache_.emplace(key, stats);
-    return stats;
+    return runFull(bench, cfg).stats;
+}
+
+std::size_t
+Experiment::missCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
 }
 
 double

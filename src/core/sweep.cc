@@ -1,0 +1,31 @@
+#include "core/sweep.hh"
+
+#include <cstdlib>
+
+namespace gpummu {
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("GPUMMU_JOBS")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+        warn("ignoring GPUMMU_JOBS=", env, " (want a positive int)");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+std::vector<RunOutput>
+SweepRunner::run(const std::vector<SweepPoint> &grid)
+{
+    return parallelMap(jobs_, grid.size(), [&](std::size_t i) {
+        const SweepPoint &p = grid[i];
+        return exp_.runFull(p.bench, p.cfg);
+    });
+}
+
+} // namespace gpummu

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Parallel sweep engine.
+ *
+ * Every figure in the paper is a grid of (benchmark, SystemConfig)
+ * points and each point builds its own GpuTop, so points are
+ * embarrassingly parallel. SweepRunner fans a grid out over a small
+ * thread pool and returns results in submission order; because every
+ * worker goes through a shared thread-safe Experiment, common
+ * baselines (the no-TLB run every speedup normalizes against) are
+ * simulated exactly once no matter how many points need them.
+ *
+ * Determinism contract: a run's result depends only on
+ * (seed, benchmark, config). All randomness flows through per-thread
+ * Rng streams seeded from those values, and no simulator state is
+ * shared between runs, so jobs=1 and jobs=N produce bit-identical
+ * RunStats and stat dumps for every point, under any thread
+ * interleaving. tests/test_sweep.cc asserts this.
+ */
+
+#ifndef CORE_SWEEP_HH
+#define CORE_SWEEP_HH
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace gpummu {
+
+/** One grid point of a sweep. */
+struct SweepPoint
+{
+    BenchmarkId bench = BenchmarkId::Bfs;
+    SystemConfig cfg;
+};
+
+/**
+ * Resolve a worker count: @p requested if nonzero, else the
+ * GPUMMU_JOBS environment variable, else hardware concurrency.
+ * Always at least 1.
+ */
+unsigned resolveJobs(unsigned requested);
+
+/**
+ * Run fn(0) .. fn(n-1) on up to @p jobs worker threads and return
+ * the results indexed by submission order. jobs <= 1 runs inline on
+ * the calling thread with no pool at all, which is the serial
+ * reference the equivalence tests compare against.
+ *
+ * If any invocation throws, the exception for the lowest index is
+ * rethrown after all workers finish, so failure is deterministic
+ * regardless of thread timing. The result type must be
+ * default-constructible.
+ */
+template <typename Fn>
+auto
+parallelMap(unsigned jobs, std::size_t n, Fn &&fn)
+    -> std::vector<decltype(fn(std::size_t{}))>
+{
+    using Result = decltype(fn(std::size_t{}));
+    std::vector<Result> out(n);
+    if (n == 0)
+        return out;
+
+    const std::size_t workers =
+        std::min<std::size_t>(resolveJobs(jobs), n);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = fn(i);
+        return out;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors(n);
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+            while (true) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                try {
+                    out[i] = fn(i);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    for (const auto &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+    return out;
+}
+
+/**
+ * Thread-pool sweep over a (benchmark, config) grid. All points run
+ * through one shared Experiment, so duplicated points and shared
+ * baselines are simulated once and memoized for later speedup()
+ * calls on the same Experiment.
+ */
+class SweepRunner
+{
+  public:
+    /** @param jobs worker threads; 0 resolves via GPUMMU_JOBS. */
+    explicit SweepRunner(Experiment &exp, unsigned jobs = 0)
+        : exp_(exp), jobs_(resolveJobs(jobs))
+    {
+    }
+
+    /** Run every point; results come back in submission order. */
+    std::vector<RunOutput> run(const std::vector<SweepPoint> &grid);
+
+    unsigned jobs() const { return jobs_; }
+    Experiment &experiment() { return exp_; }
+
+  private:
+    Experiment &exp_;
+    unsigned jobs_;
+};
+
+} // namespace gpummu
+
+#endif // CORE_SWEEP_HH

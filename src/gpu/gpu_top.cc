@@ -9,6 +9,27 @@
 
 namespace gpummu {
 
+void
+dumpRunStatsJson(std::ostream &os, const RunStats &s)
+{
+    os << "{\"cycles\":" << s.cycles
+       << ",\"instructions\":" << s.instructions
+       << ",\"mem_instructions\":" << s.memInstructions
+       << ",\"tlb_accesses\":" << s.tlbAccesses
+       << ",\"tlb_hits\":" << s.tlbHits
+       << ",\"l1_accesses\":" << s.l1Accesses
+       << ",\"l1_hits\":" << s.l1Hits
+       << ",\"idle_cycles\":" << s.idleCycles
+       << ",\"walk_refs_issued\":" << s.walkRefsIssued
+       << ",\"walk_refs_eliminated\":" << s.walkRefsEliminated
+       << ",\"walk_l2_accesses\":" << s.walkL2Accesses
+       << ",\"walk_l2_hits\":" << s.walkL2Hits
+       << ",\"avg_tlb_miss_latency\":" << jsonNum(s.avgTlbMissLatency)
+       << ",\"avg_l1_miss_latency\":" << jsonNum(s.avgL1MissLatency)
+       << ",\"avg_page_divergence\":" << jsonNum(s.avgPageDivergence)
+       << ",\"max_page_divergence\":" << s.maxPageDivergence << "}";
+}
+
 GpuTop::GpuTop(unsigned num_cores, const MemorySystemConfig &mem_cfg,
                Workload &workload, CoreFactory factory, bool large_pages,
                std::uint64_t phys_frames)

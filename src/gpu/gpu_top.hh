@@ -75,7 +75,16 @@ struct RunStats
                             static_cast<double>(cycles)
                       : 0.0;
     }
+
+    /** Field-wise equality; the replay tests assert bit-identity. */
+    bool operator==(const RunStats &) const = default;
 };
+
+/**
+ * Dump a RunStats as one JSON object with a fixed field order;
+ * identical stats produce identical bytes.
+ */
+void dumpRunStatsJson(std::ostream &os, const RunStats &s);
 
 class GpuTop
 {

@@ -1,6 +1,9 @@
 #include "sim/stats.hh"
 
 #include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
 #include <iomanip>
 
 namespace gpummu {
@@ -110,6 +113,53 @@ StatRegistry::resetAll()
         h->reset();
 }
 
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNum(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[64];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    GPUMMU_ASSERT(ec == std::errc());
+    return std::string(buf, ptr);
+}
+
 void
 StatRegistry::dump(std::ostream &os) const
 {
@@ -123,6 +173,45 @@ StatRegistry::dump(std::ostream &os) const
         os << name << ".min " << h->min() << "\n";
         os << name << ".max " << h->max() << "\n";
     }
+}
+
+void
+StatRegistry::dumpJson(std::ostream &os) const
+{
+    os << "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, c] : counters_) {
+        os << (first ? "" : ",") << '"' << jsonEscape(name)
+           << "\":" << c->value();
+        first = false;
+    }
+    os << "},\"scalars\":{";
+    first = true;
+    for (const auto &[name, s] : scalars_) {
+        os << (first ? "" : ",") << '"' << jsonEscape(name)
+           << "\":" << jsonNum(s->value());
+        first = false;
+    }
+    os << "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        os << (first ? "" : ",") << '"' << jsonEscape(name)
+           << "\":{\"count\":" << h->count()
+           << ",\"sum\":" << h->sum()
+           << ",\"mean\":" << jsonNum(h->mean())
+           << ",\"min\":" << h->min() << ",\"max\":" << h->max();
+        if (h->bucketWidth() > 0) {
+            os << ",\"bucket_width\":" << h->bucketWidth()
+               << ",\"buckets\":[";
+            const auto &b = h->buckets();
+            for (std::size_t i = 0; i < b.size(); ++i)
+                os << (i ? "," : "") << b[i];
+            os << "]";
+        }
+        os << "}";
+        first = false;
+    }
+    os << "}}";
 }
 
 } // namespace gpummu

@@ -88,6 +88,16 @@ class Histogram
     std::uint64_t max_ = 0;
 };
 
+/** Escape a string for inclusion in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Format a double for JSON with shortest round-trip precision; the
+ * same value always formats to the same text, which the replay and
+ * golden-stats tests rely on. Non-finite values become null.
+ */
+std::string jsonNum(double v);
+
 /**
  * Name to stat mapping. Components register stats at construction
  * time; names use dotted paths ("core0.tlb.misses").
@@ -109,6 +119,14 @@ class StatRegistry
 
     /** Dump "name value" lines, sorted by name. */
     void dump(std::ostream &os) const;
+
+    /**
+     * Dump every stat as one JSON object, sorted by name:
+     * {"counters":{...},"scalars":{...},"histograms":{...}}.
+     * Output is byte-stable for identical stat values, so two dumps
+     * can be compared with string equality.
+     */
+    void dumpJson(std::ostream &os) const;
 
   private:
     std::map<std::string, Counter *> counters_;

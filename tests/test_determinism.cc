@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Replay regression: the simulator's determinism contract is that a
+ * run's results depend only on (seed, benchmark, config). Each of
+ * the six paper workloads runs twice under the paper-default
+ * augmented-MMU preset and must produce identical cycle counts, TLB
+ * miss counts, page-walk stats and byte-identical JSON stat dumps.
+ *
+ * If this test starts failing, someone introduced wall-clock- or
+ * address-ordering-dependent state (e.g. seeding from time, hashing
+ * pointers, or iterating an unordered container into a stat). Fix
+ * the nondeterminism; do not loosen the assertions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/presets.hh"
+#include "core/sweep.hh"
+
+using namespace gpummu;
+
+namespace {
+
+WorkloadParams
+tinyParams()
+{
+    WorkloadParams p;
+    p.scale = 0.03;
+    p.seed = 42;
+    return p;
+}
+
+SystemConfig
+paperDefault()
+{
+    SystemConfig cfg = presets::augmentedTlb();
+    cfg.numCores = 4; // shrunk for test speed; determinism is
+                      // independent of machine size
+    return cfg;
+}
+
+} // namespace
+
+TEST(Determinism, EveryWorkloadReplaysIdentically)
+{
+    const auto cfg = paperDefault();
+    for (BenchmarkId id : allBenchmarks()) {
+        const RunOutput a = runConfigFull(id, cfg, tinyParams());
+        const RunOutput b = runConfigFull(id, cfg, tinyParams());
+
+        EXPECT_EQ(a.stats.cycles, b.stats.cycles)
+            << benchmarkName(id);
+        EXPECT_EQ(a.stats.tlbAccesses, b.stats.tlbAccesses)
+            << benchmarkName(id);
+        EXPECT_EQ(a.stats.tlbHits, b.stats.tlbHits)
+            << benchmarkName(id);
+        EXPECT_EQ(a.stats.walkRefsIssued, b.stats.walkRefsIssued)
+            << benchmarkName(id);
+        EXPECT_EQ(a.stats.walkRefsEliminated,
+                  b.stats.walkRefsEliminated)
+            << benchmarkName(id);
+        EXPECT_EQ(a.stats.walkL2Accesses, b.stats.walkL2Accesses)
+            << benchmarkName(id);
+        EXPECT_EQ(a.stats.walkL2Hits, b.stats.walkL2Hits)
+            << benchmarkName(id);
+
+        // And the full field-wise + stat-registry comparison.
+        EXPECT_TRUE(a.stats == b.stats) << benchmarkName(id);
+        EXPECT_EQ(a.statsJson, b.statsJson) << benchmarkName(id);
+    }
+}
+
+TEST(Determinism, ReplayIsStableThroughTheParallelRunner)
+{
+    // A fresh serial Experiment and a fresh parallel one must agree
+    // with direct runConfigFull for every workload.
+    const auto cfg = paperDefault();
+    std::vector<SweepPoint> grid;
+    for (BenchmarkId id : allBenchmarks())
+        grid.push_back(SweepPoint{id, cfg});
+
+    Experiment exp(tinyParams());
+    const auto results = SweepRunner(exp, 6).run(grid);
+    ASSERT_EQ(results.size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const RunOutput direct =
+            runConfigFull(grid[i].bench, cfg, tinyParams());
+        EXPECT_TRUE(results[i].stats == direct.stats)
+            << benchmarkName(grid[i].bench);
+        EXPECT_EQ(results[i].statsJson, direct.statsJson)
+            << benchmarkName(grid[i].bench);
+    }
+}
+
+TEST(Determinism, SeedIsTheOnlyFreeVariable)
+{
+    const auto cfg = paperDefault();
+    auto p2 = tinyParams();
+    p2.seed = 43;
+    const RunOutput a =
+        runConfigFull(BenchmarkId::Bfs, cfg, tinyParams());
+    const RunOutput b = runConfigFull(BenchmarkId::Bfs, cfg, p2);
+    EXPECT_NE(a.stats.cycles, b.stats.cycles);
+    EXPECT_NE(a.statsJson, b.statsJson);
+}

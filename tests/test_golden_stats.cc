@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Golden-stats regression: tolerance-0 comparison of each workload's
+ * full JSON stat dump against a checked-in golden file, under the
+ * baseline augmented-MMU preset at a fixed (scale, seed, numCores).
+ *
+ * This pins simulated behaviour: a perf PR that only makes the
+ * simulator faster leaves these dumps byte-identical, while any
+ * change to simulated behaviour (timing, replacement, scheduling,
+ * address streams) shows up as a diff that must be reviewed.
+ *
+ * To regenerate after an intentional behaviour change:
+ *     ./build/tests/test_golden_stats --update-golden
+ * then review the golden diff in the PR like any other code change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/presets.hh"
+#include "core/sweep.hh"
+
+using namespace gpummu;
+
+namespace {
+
+bool update_golden = false;
+
+/** Fixed pin-point: change it and you must regenerate the goldens. */
+WorkloadParams
+goldenParams()
+{
+    WorkloadParams p;
+    p.scale = 0.03;
+    p.seed = 42;
+    return p;
+}
+
+SystemConfig
+goldenConfig()
+{
+    SystemConfig cfg = presets::augmentedTlb();
+    cfg.numCores = 4;
+    return cfg;
+}
+
+std::string
+goldenPath(BenchmarkId id)
+{
+    return std::string(GPUMMU_GOLDEN_DIR) + "/" + benchmarkName(id) +
+           ".json";
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {};
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+class GoldenStats : public ::testing::TestWithParam<BenchmarkId>
+{
+};
+
+} // namespace
+
+TEST_P(GoldenStats, DumpMatchesGoldenByteForByte)
+{
+    const BenchmarkId id = GetParam();
+    const RunOutput out =
+        runConfigFull(id, goldenConfig(), goldenParams());
+    const std::string current = out.statsJson + "\n";
+    const std::string path = goldenPath(id);
+
+    if (update_golden) {
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(f.good()) << "cannot write " << path;
+        f << current;
+        SUCCEED() << "updated " << path;
+        return;
+    }
+
+    const std::string golden = readFile(path);
+    ASSERT_FALSE(golden.empty())
+        << "missing golden " << path
+        << "; run test_golden_stats --update-golden";
+    EXPECT_EQ(golden, current)
+        << "simulated behaviour changed for " << benchmarkName(id)
+        << "; if intentional, regenerate with --update-golden and "
+           "review the diff";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, GoldenStats,
+    ::testing::ValuesIn(allBenchmarks()),
+    [](const ::testing::TestParamInfo<BenchmarkId> &info) {
+        return benchmarkName(info.param);
+    });
+
+int
+main(int argc, char **argv)
+{
+    // Strip our flag before gtest sees the arguments.
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--update-golden") {
+            update_golden = true;
+            for (int j = i; j + 1 < argc; ++j)
+                argv[j] = argv[j + 1];
+            --argc;
+            break;
+        }
+    }
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Parallel sweep engine tests: the load-bearing guarantee is that a
+ * grid run with jobs=1 (strictly serial, no pool) is bit-identical
+ * to the same grid with jobs=4+, for both the aggregate RunStats and
+ * the full JSON stat dumps, with results in submission order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "core/presets.hh"
+#include "core/sweep.hh"
+
+using namespace gpummu;
+
+namespace {
+
+WorkloadParams
+tinyParams()
+{
+    WorkloadParams p;
+    p.scale = 0.03;
+    p.seed = 42;
+    return p;
+}
+
+SystemConfig
+shrink(SystemConfig cfg)
+{
+    cfg.numCores = 4;
+    return cfg;
+}
+
+/** The 8-point grid from the acceptance criteria: 2 benches x 4
+ *  configs spanning baseline, strawman, augmented and ideal MMUs. */
+std::vector<SweepPoint>
+eightPointGrid()
+{
+    std::vector<SweepPoint> grid;
+    for (BenchmarkId id :
+         {BenchmarkId::Bfs, BenchmarkId::Pathfinder}) {
+        for (const SystemConfig &cfg :
+             {shrink(presets::noTlb()), shrink(presets::naiveTlb(3)),
+              shrink(presets::augmentedTlb()),
+              shrink(presets::idealTlb())}) {
+            grid.push_back(SweepPoint{id, cfg});
+        }
+    }
+    return grid;
+}
+
+} // namespace
+
+TEST(Sweep, ParallelMatchesSerialBitExactly)
+{
+    const auto grid = eightPointGrid();
+
+    Experiment serial_exp(tinyParams());
+    const auto serial = SweepRunner(serial_exp, 1).run(grid);
+
+    Experiment par_exp(tinyParams());
+    const auto parallel = SweepRunner(par_exp, 4).run(grid);
+
+    ASSERT_EQ(serial.size(), grid.size());
+    ASSERT_EQ(parallel.size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        EXPECT_TRUE(serial[i].stats == parallel[i].stats)
+            << "point " << i << " ("
+            << benchmarkName(grid[i].bench) << "/"
+            << grid[i].cfg.name << ")";
+        EXPECT_EQ(serial[i].statsJson, parallel[i].statsJson)
+            << "point " << i;
+    }
+}
+
+TEST(Sweep, ResultsComeBackInSubmissionOrder)
+{
+    const auto grid = eightPointGrid();
+    Experiment exp(tinyParams());
+    const auto results = SweepRunner(exp, 8).run(grid);
+    ASSERT_EQ(results.size(), grid.size());
+    // The JSON dump embeds the point's identity; check each slot
+    // holds the point submitted at that index.
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const std::string want = "{\"bench\":\"" +
+                                 benchmarkName(grid[i].bench) +
+                                 "\",\"config\":\"" +
+                                 grid[i].cfg.name + "\"";
+        EXPECT_EQ(results[i].statsJson.rfind(want, 0), 0u)
+            << "slot " << i << " starts with "
+            << results[i].statsJson.substr(0, 64);
+    }
+}
+
+TEST(Sweep, DuplicatePointsSimulateOnce)
+{
+    // 8 copies of one point racing through the memo cache: the
+    // in-flight latch must collapse them to a single simulation.
+    std::vector<SweepPoint> grid(
+        8, SweepPoint{BenchmarkId::Bfs, shrink(presets::noTlb())});
+    Experiment exp(tinyParams());
+    const auto results = SweepRunner(exp, 8).run(grid);
+    EXPECT_EQ(exp.missCount(), 1u);
+    for (const auto &r : results) {
+        EXPECT_TRUE(r.stats == results.front().stats);
+        EXPECT_EQ(r.statsJson, results.front().statsJson);
+    }
+}
+
+TEST(Sweep, SharedBaselineComputedOnceAcrossSpeedups)
+{
+    // Two variant configs normalized against the same baseline: the
+    // baseline must be simulated once, not once per speedup call.
+    Experiment exp(tinyParams());
+    const auto base = shrink(presets::noTlb());
+    exp.speedup(BenchmarkId::Bfs, shrink(presets::naiveTlb(3)), base);
+    exp.speedup(BenchmarkId::Bfs, shrink(presets::naiveTlb(4)), base);
+    EXPECT_EQ(exp.missCount(), 3u);
+}
+
+TEST(Sweep, ParallelMapPreservesIndexOrder)
+{
+    std::atomic<int> calls{0};
+    const auto out = parallelMap(4, 64, [&](std::size_t i) {
+        calls.fetch_add(1);
+        // Skew per-item latency so completion order differs wildly
+        // from submission order.
+        std::this_thread::sleep_for(
+            std::chrono::microseconds((i % 7) * 100));
+        return i * 3 + 1;
+    });
+    EXPECT_EQ(calls.load(), 64);
+    ASSERT_EQ(out.size(), 64u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * 3 + 1);
+}
+
+TEST(Sweep, WorkerExceptionPropagatesToCaller)
+{
+    EXPECT_THROW(parallelMap(4, 16,
+                             [](std::size_t i) {
+                                 if (i == 5)
+                                     throw std::runtime_error("boom");
+                                 return i;
+                             }),
+                 std::runtime_error);
+}
+
+TEST(Sweep, LowestIndexExceptionWinsDeterministically)
+{
+    // Two workers throw; regardless of thread timing the caller must
+    // always see the lowest submission index's exception.
+    for (int round = 0; round < 4; ++round) {
+        try {
+            parallelMap(8, 32, [](std::size_t i) -> int {
+                if (i == 3)
+                    throw std::runtime_error("first");
+                if (i == 20)
+                    throw std::runtime_error("second");
+                return 0;
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "first");
+        }
+    }
+}
+
+TEST(Sweep, EmptyGridAndSingleJobEdgeCases)
+{
+    Experiment exp(tinyParams());
+    EXPECT_TRUE(SweepRunner(exp, 3).run({}).empty());
+    EXPECT_EQ(exp.missCount(), 0u);
+    EXPECT_TRUE(parallelMap(1, 0, [](std::size_t i) { return i; })
+                    .empty());
+}
+
+TEST(Sweep, ResolveJobsHonoursExplicitRequestAndEnv)
+{
+    EXPECT_EQ(resolveJobs(7), 7u);
+    ASSERT_EQ(setenv("GPUMMU_JOBS", "3", 1), 0);
+    EXPECT_EQ(resolveJobs(0), 3u);
+    EXPECT_EQ(resolveJobs(2), 2u); // explicit beats env
+    ASSERT_EQ(setenv("GPUMMU_JOBS", "not-a-number", 1), 0);
+    EXPECT_GE(resolveJobs(0), 1u); // falls back to hardware
+    unsetenv("GPUMMU_JOBS");
+    EXPECT_GE(resolveJobs(0), 1u);
+}
