@@ -1,0 +1,126 @@
+#include "check/invariant_checker.hh"
+
+#include "sim/logging.hh"
+
+namespace gpummu {
+
+void
+InvariantChecker::checkTranslation(Vpn tag, std::uint64_t frame_base,
+                                   bool is_large, unsigned page_shift,
+                                   const char *site)
+{
+    const unsigned expand = page_shift - kPageShift4K;
+    auto w = ref_.walk(tag << expand);
+    GPUMMU_ASSERT(w.has_value(), site, ": VPN ", tag,
+                  " (shift ", page_shift,
+                  ") translated by the timing path but unmapped in "
+                  "the reference walk");
+    const std::uint64_t expected = w->result.ppn >> expand;
+    GPUMMU_ASSERT(frame_base == expected, site, ": VPN ", tag,
+                  " timing frame ", frame_base,
+                  " != reference frame ", expected);
+    if (page_shift == kPageShift2M) {
+        GPUMMU_ASSERT(w->result.isLarge && is_large,
+                      site, ": 2MB-granularity VPN ", tag,
+                      " not backed by a 2MB mapping");
+    } else {
+        GPUMMU_ASSERT(is_large == w->result.isLarge,
+                      site, ": VPN ", tag, " page-size flag ",
+                      is_large, " != reference ", w->result.isLarge);
+    }
+}
+
+void
+InvariantChecker::onTlbFill(Vpn tag, std::uint64_t frame_base,
+                            bool is_large, unsigned page_shift)
+{
+    checkTranslation(tag, frame_base, is_large, page_shift,
+                     "TLB fill");
+    ++fillsChecked_;
+}
+
+void
+InvariantChecker::onTlbHit(Vpn tag, std::uint64_t frame_base,
+                           unsigned page_shift)
+{
+    const unsigned expand = page_shift - kPageShift4K;
+    auto expected = ref_.frameBase(tag, page_shift);
+    GPUMMU_ASSERT(expected.has_value(),
+                  "TLB hit on unmapped VPN ", tag << expand);
+    GPUMMU_ASSERT(frame_base == *expected, "TLB hit: VPN ", tag,
+                  " timing frame ", frame_base,
+                  " != reference frame ", *expected);
+    ++hitsChecked_;
+}
+
+void
+InvariantChecker::beginTlbSweep()
+{
+    GPUMMU_ASSERT(!sweepActive_, "nested TLB sweeps");
+    sweepActive_ = true;
+    sweepSeen_.clear();
+}
+
+void
+InvariantChecker::onTlbEntry(std::size_t set, Vpn tag,
+                             std::uint64_t frame_base, bool is_large,
+                             unsigned page_shift)
+{
+    GPUMMU_ASSERT(sweepActive_, "onTlbEntry outside a sweep");
+    const bool fresh = sweepSeen_.emplace(set, tag).second;
+    GPUMMU_ASSERT(fresh, "duplicate VPN ", tag, " in TLB set ", set);
+    checkTranslation(tag, frame_base, is_large, page_shift,
+                     "TLB sweep");
+    ++entriesSwept_;
+}
+
+void
+InvariantChecker::endTlbSweep()
+{
+    GPUMMU_ASSERT(sweepActive_, "endTlbSweep without beginTlbSweep");
+    sweepActive_ = false;
+    sweepSeen_.clear();
+}
+
+void
+InvariantChecker::onWalkEnqueued(Vpn vpn)
+{
+    ++outstandingWalks_[vpn];
+    ++walksTracked_;
+}
+
+void
+InvariantChecker::onWalkCompleted(Vpn vpn)
+{
+    auto it = outstandingWalks_.find(vpn);
+    GPUMMU_ASSERT(it != outstandingWalks_.end() && it->second > 0,
+                  "walk completion for VPN ", vpn,
+                  " that was never enqueued (or completed twice)");
+    if (--it->second == 0)
+        outstandingWalks_.erase(it);
+}
+
+void
+InvariantChecker::onPagingLine(std::uint64_t line, unsigned line_shift)
+{
+    const Ppn frame = (line << line_shift) >> kPageShift4K;
+    GPUMMU_ASSERT(pt_.isTableFrame(frame),
+                  "page-walk line ", line,
+                  " outside every live paging-structure page");
+    ++linesChecked_;
+}
+
+void
+InvariantChecker::checkWalksDrained() const
+{
+    GPUMMU_ASSERT(outstandingWalks_.empty(),
+                  outstandingWalks_.size(),
+                  " VPNs still hold enqueued-but-uncompleted walks at "
+                  "kernel end (first VPN ",
+                  outstandingWalks_.empty()
+                      ? 0
+                      : outstandingWalks_.begin()->first,
+                  ")");
+}
+
+} // namespace gpummu

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Runtime invariant checker for the MMU timing stack.
+ *
+ * Armed via SystemConfig::checkInvariants (or directly in unit
+ * tests), one checker is attached to each Mmu/Iommu and called from
+ * the Tlb, the PageWalkers and the Mmu at fill/complete/evict points.
+ * Every check compares the *timing* path against the functional
+ * RefTranslator, so a bug that reorders, coalesces or batches walks
+ * incorrectly cannot silently skew results. Invariants enforced:
+ *
+ *  - every TLB fill equals the reference walk for that VPN (frame
+ *    base, page size, mapped-ness), at either translation granularity;
+ *  - no set ever holds two entries with the same VPN tag;
+ *  - every resident TLB entry matches the reference at sweep points
+ *    (each fill and kernel end), so later payload corruption is
+ *    caught too;
+ *  - every walk handed to the walkers completes exactly once
+ *    (conservation across naive walkers, scheduled batches and
+ *    line coalescing);
+ *  - every page-table reference and walk-cache entry lands inside a
+ *    live paging-structure page;
+ *  - all blocking state (outstanding walks, drain waiters, queued
+ *    batches) has drained by kernel end.
+ *
+ * Violations are simulator bugs and panic immediately. The checker
+ * registers no stats and mutates no timing state, so an armed run
+ * produces bit-identical results to an unarmed one (asserted by
+ * tests/test_determinism.cc).
+ */
+
+#ifndef CHECK_INVARIANT_CHECKER_HH
+#define CHECK_INVARIANT_CHECKER_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "check/ref_translator.hh"
+#include "sim/types.hh"
+
+namespace gpummu {
+
+class InvariantChecker
+{
+  public:
+    explicit InvariantChecker(const PageTable &pt)
+        : pt_(pt), ref_(pt)
+    {
+    }
+
+    InvariantChecker(const InvariantChecker &) = delete;
+    InvariantChecker &operator=(const InvariantChecker &) = delete;
+
+    const RefTranslator &ref() const { return ref_; }
+
+    /** A translation entered the TLB (Tlb::fill). */
+    void onTlbFill(Vpn tag, std::uint64_t frame_base, bool is_large,
+                   unsigned page_shift);
+
+    /** A TLB lookup hit and the timing path will use @p frame_base. */
+    void onTlbHit(Vpn tag, std::uint64_t frame_base,
+                  unsigned page_shift);
+
+    /** @{ Full-array sweep: duplicate tags + reference equality. */
+    void beginTlbSweep();
+    void onTlbEntry(std::size_t set, Vpn tag, std::uint64_t frame_base,
+                    bool is_large, unsigned page_shift);
+    void endTlbSweep();
+    /** @} */
+
+    /** One walk was handed to the walker pool. */
+    void onWalkEnqueued(Vpn vpn);
+
+    /** One walk completed (its DoneFn is about to fire). */
+    void onWalkCompleted(Vpn vpn);
+
+    /** A page-table line reference or walk-cache entry: @p line is a
+     *  line id (byte address >> line shift). */
+    void onPagingLine(std::uint64_t line, unsigned line_shift);
+
+    /** Kernel-end conservation: every enqueued walk completed. */
+    void checkWalksDrained() const;
+
+    /** @{ Check-volume accessors, so tests can assert coverage. */
+    std::uint64_t fillsChecked() const { return fillsChecked_; }
+    std::uint64_t hitsChecked() const { return hitsChecked_; }
+    std::uint64_t entriesSwept() const { return entriesSwept_; }
+    std::uint64_t walksTracked() const { return walksTracked_; }
+    std::uint64_t linesChecked() const { return linesChecked_; }
+    /** @} */
+
+  private:
+    /** Shared fill/entry check against the reference walk. */
+    void checkTranslation(Vpn tag, std::uint64_t frame_base,
+                          bool is_large, unsigned page_shift,
+                          const char *site);
+
+    const PageTable &pt_;
+    RefTranslator ref_;
+
+    /** VPN -> enqueued-but-not-completed walk count. */
+    std::map<Vpn, std::uint64_t> outstandingWalks_;
+    /** (set, tag) pairs seen by the sweep in progress. */
+    std::set<std::pair<std::size_t, Vpn>> sweepSeen_;
+    bool sweepActive_ = false;
+
+    std::uint64_t fillsChecked_ = 0;
+    std::uint64_t hitsChecked_ = 0;
+    std::uint64_t entriesSwept_ = 0;
+    std::uint64_t walksTracked_ = 0;
+    std::uint64_t linesChecked_ = 0;
+};
+
+} // namespace gpummu
+
+#endif // CHECK_INVARIANT_CHECKER_HH

@@ -1,0 +1,73 @@
+#include "check/ref_translator.hh"
+
+#include "sim/logging.hh"
+
+namespace gpummu {
+
+std::optional<RefWalk>
+RefTranslator::walk(Vpn vpn) const
+{
+    GPUMMU_ASSERT(vpn < (1ULL << 36),
+                  "VPN ", vpn, " outside the 48-bit virtual space");
+    RefWalk out;
+    // Start at the CR3 analogue and chase physical frame pointers;
+    // level L consumes virtual address bits [47-9L .. 39-9L], i.e.
+    // bits [35-9L .. 27-9L] of the 36-bit VPN.
+    PhysAddr table_base = pt_.rootAddr();
+    for (unsigned level = 0; level < kWalkLevels4K; ++level) {
+        const unsigned shift = 9 * (kWalkLevels4K - 1 - level);
+        const unsigned idx =
+            static_cast<unsigned>((vpn >> shift) & 0x1ff);
+        const PhysAddr entry_addr = table_base + idx * 8ULL;
+        out.entryAddrs[level] = entry_addr;
+        out.levels = level + 1;
+
+        const RawEntry e = pt_.readEntry(entry_addr);
+        if (!e.present)
+            return std::nullopt;
+        if (e.leaf) {
+            if (e.large) {
+                GPUMMU_ASSERT(level == kWalkLevels2M - 1,
+                              "2MB leaf at radix level ", level);
+                const Ppn in_region =
+                    vpn & ((kPageSize2M / kPageSize4K) - 1);
+                out.result = Translation{e.value + in_region, true};
+            } else {
+                GPUMMU_ASSERT(level == kWalkLevels4K - 1,
+                              "4KB leaf at radix level ", level);
+                out.result = Translation{e.value, false};
+            }
+            return out;
+        }
+        table_base = static_cast<PhysAddr>(e.value) << kPageShift4K;
+    }
+    GPUMMU_PANIC("radix walk ran past the PT level");
+}
+
+std::optional<Translation>
+RefTranslator::translate(Vpn vpn) const
+{
+    auto w = walk(vpn);
+    if (!w)
+        return std::nullopt;
+    return w->result;
+}
+
+std::optional<std::uint64_t>
+RefTranslator::frameBase(Vpn tag, unsigned page_shift) const
+{
+    GPUMMU_ASSERT(page_shift == kPageShift4K ||
+                      page_shift == kPageShift2M,
+                  "unsupported translation granularity ", page_shift);
+    const unsigned expand = page_shift - kPageShift4K;
+    auto t = translate(tag << expand);
+    if (!t)
+        return std::nullopt;
+    if (page_shift == kPageShift2M) {
+        GPUMMU_ASSERT(t->isLarge, "2MB-granularity tag ", tag,
+                      " backed by a 4KB mapping");
+    }
+    return t->ppn >> expand;
+}
+
+} // namespace gpummu

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Functional reference translator: a pure, untimed x86-64 radix walk
+ * performed independently of the timing model.
+ *
+ * The timing path (Tlb fills, PageWalkers batches, walk coalescing,
+ * the IOMMU) is what the paper evaluates; this walker is what it is
+ * evaluated *against*. It deliberately shares no traversal code with
+ * PageTable::walk or PageTable::translate: it re-derives the 9-bit
+ * radix indices itself and chases physical frame pointers through
+ * PageTable::readEntry, starting from the CR3 analogue. A bug in the
+ * timing model's index math, level accounting or 2MB handling
+ * therefore cannot cancel out against the same bug here.
+ */
+
+#ifndef CHECK_REF_TRANSLATOR_HH
+#define CHECK_REF_TRANSLATOR_HH
+
+#include <array>
+#include <optional>
+
+#include "sim/types.hh"
+#include "vm/page_table.hh"
+
+namespace gpummu {
+
+/** The reference walk's trace + result, mirroring WalkPath. */
+struct RefWalk
+{
+    std::array<PhysAddr, kWalkLevels4K> entryAddrs{};
+    unsigned levels = 0;
+    Translation result;
+};
+
+class RefTranslator
+{
+  public:
+    explicit RefTranslator(const PageTable &pt) : pt_(pt) {}
+
+    /**
+     * Walk one 4KB-granularity VPN. Unlike PageTable::walk this does
+     * not panic on unmapped pages; it returns nullopt, so the fuzzer
+     * can probe edge/unmapped VPNs safely.
+     */
+    std::optional<RefWalk> walk(Vpn vpn) const;
+
+    /** Just the translation of a 4KB VPN; nullopt when unmapped. */
+    std::optional<Translation> translate(Vpn vpn) const;
+
+    /**
+     * Frame base at TLB-tag granularity: for @p page_shift 12 the
+     * 4KB PPN of @p tag, for 21 the 2MB frame number of the 2MB tag
+     * (which must be backed by a large mapping). This is the unit
+     * the Tlb stores and the Mmu hands to physAddr().
+     */
+    std::optional<std::uint64_t> frameBase(Vpn tag,
+                                           unsigned page_shift) const;
+
+  private:
+    const PageTable &pt_;
+};
+
+} // namespace gpummu
+
+#endif // CHECK_REF_TRANSLATOR_HH

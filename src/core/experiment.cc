@@ -75,9 +75,17 @@ finishRun(GpuTop &gpu, BenchmarkId bench, const SystemConfig &cfg)
 } // namespace
 
 RunOutput
-runConfigFull(BenchmarkId bench, const SystemConfig &cfg,
+runConfigFull(BenchmarkId bench, const SystemConfig &cfg_in,
               const WorkloadParams &params)
 {
+    // Fan the top-level checker switch out to every translation unit
+    // of the run before any core is built.
+    SystemConfig cfg = cfg_in;
+    if (cfg.checkInvariants) {
+        cfg.core.mmu.checkInvariants = true;
+        cfg.iommuCfg.checkInvariants = true;
+    }
+
     auto workload = makeWorkload(bench, params);
     if (!cfg.iommu) {
         GpuTop gpu(cfg.numCores, cfg.mem, *workload,
@@ -109,7 +117,12 @@ runConfigFull(BenchmarkId bench, const SystemConfig &cfg,
                cfg.largePages, cfg.physFrames);
     if (*iommu_holder)
         (*iommu_holder)->regStats(gpu.stats(), "iommu");
-    return finishRun(gpu, bench, cfg);
+    RunOutput out = finishRun(gpu, bench, cfg);
+    // The shared IOMMU is not reached by GpuTop's per-core sweep, so
+    // its drain invariants are verified here.
+    if (*iommu_holder)
+        (*iommu_holder)->checkEndOfKernel();
+    return out;
 }
 
 RunStats
@@ -123,9 +136,11 @@ const RunOutput &
 Experiment::runFull(BenchmarkId bench, const SystemConfig &cfg)
 {
     // cfg.name alone does not encode every field callers vary (tests
-    // shrink numCores without renaming), so widen the key a little.
+    // shrink numCores without renaming, or arm the checker), so widen
+    // the key a little.
     const std::string key = benchmarkName(bench) + "/" + cfg.name +
-                            "/c" + std::to_string(cfg.numCores);
+                            "/c" + std::to_string(cfg.numCores) +
+                            (cfg.checkInvariants ? "/chk" : "");
 
     // Either adopt an existing latch for the key or install our own;
     // only the installing thread simulates, everyone else blocks on

@@ -66,6 +66,16 @@ struct SystemConfig
     /** Back the address space with 2MB pages (Section 9). */
     bool largePages = false;
 
+    /**
+     * Arm the differential reference checker on every MMU / IOMMU of
+     * the run: each TLB fill and hit is cross-checked against a pure
+     * functional page-table walk, walks obey conservation, and all
+     * blocking state must drain by kernel end. Violations panic.
+     * Never changes simulated results (test_determinism asserts an
+     * armed run is bit-identical to an unarmed one).
+     */
+    bool checkInvariants = false;
+
     /** Simulated physical memory, in 4KB frames. */
     std::uint64_t physFrames = 1ULL << 22; // 16GB
 

@@ -100,6 +100,13 @@ GpuTop::run(Cycle max_cycles)
         }
     }
 
+    // Armed runs verify the drain invariants here: all blocking MMU
+    // state (outstanding walks, drain waiters, queued batches) must
+    // be gone once every core is idle, and every surviving TLB entry
+    // must still match its reference walk.
+    for (auto &core : cores_)
+        core->mmu().checkEndOfKernel();
+
     RunStats out;
     out.cycles = cycle;
     double tlb_lat_sum = 0.0;

@@ -150,6 +150,21 @@ class SetAssocArray
         return n;
     }
 
+    /**
+     * Visit every valid entry as fn(set_index, tag, payload), in MRU
+     * -> LRU order within each set. Read-only: invariant sweeps must
+     * not disturb replacement state.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t s = 0; s < sets_.size(); ++s) {
+            for (const Entry &e : sets_[s])
+                fn(s, e.tag, e.payload);
+        }
+    }
+
   private:
     struct Entry
     {

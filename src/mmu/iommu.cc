@@ -11,6 +11,12 @@ Iommu::Iommu(const IommuConfig &cfg, AddressSpace &as,
 {
     GPUMMU_ASSERT(!as.usesLargePages() || true,
                   "IOMMU model translates at 4KB granularity");
+    if (cfg_.checkInvariants) {
+        checker_ =
+            std::make_unique<InvariantChecker>(as_.pageTable());
+        tlb_.setChecker(checker_.get(), kPageShift4K);
+        walkers_.setChecker(checker_.get());
+    }
 }
 
 void
@@ -23,6 +29,8 @@ Iommu::translate(Vpn vpn, Cycle now, DoneFn done)
 
     auto res = tlb_.lookup(vpn, /*warp=*/-1);
     if (res.hit) {
+        if (checker_)
+            checker_->onTlbHit(vpn, res.ppn, kPageShift4K);
         done(res.ppn, looked_up);
         return;
     }
@@ -48,6 +56,18 @@ Iommu::translate(Vpn vpn, Cycle now, DoneFn done)
             for (auto &fn : waiters)
                 fn(frame, finish);
         });
+}
+
+void
+Iommu::checkEndOfKernel() const
+{
+    if (!checker_)
+        return;
+    GPUMMU_ASSERT(outstanding_.empty(), outstanding_.size(),
+                  " VPNs still outstanding in the IOMMU at kernel "
+                  "end");
+    walkers_.checkDrained();
+    tlb_.checkSweep();
 }
 
 void

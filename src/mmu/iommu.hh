@@ -20,9 +20,11 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "check/invariant_checker.hh"
 #include "mmu/ptw.hh"
 #include "mmu/tlb.hh"
 #include "sim/event_queue.hh"
@@ -41,6 +43,8 @@ struct IommuConfig
     Cycle lookupInterval = 1;
     /** Fixed pipeline latency of a lookup at the controller. */
     Cycle lookupLatency = 8;
+    /** Arm the differential reference checker (see MmuConfig). */
+    bool checkInvariants = false;
 };
 
 /**
@@ -65,6 +69,12 @@ class Iommu
     Tlb &tlb() { return tlb_; }
     PageWalkers &walkers() { return walkers_; }
 
+    /** Kernel-end invariant check (no-op unarmed); see Mmu. */
+    void checkEndOfKernel() const;
+
+    /** The armed checker, or nullptr. */
+    const InvariantChecker *checker() const { return checker_.get(); }
+
     void regStats(StatRegistry &reg, const std::string &prefix);
 
     std::uint64_t lookups() const { return tlb_.accesses(); }
@@ -73,6 +83,7 @@ class Iommu
   private:
     IommuConfig cfg_;
     AddressSpace &as_;
+    std::unique_ptr<InvariantChecker> checker_;
     Tlb tlb_;
     PageWalkers walkers_;
     Cycle portFreeAt_ = 0;

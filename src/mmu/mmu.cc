@@ -10,6 +10,12 @@ Mmu::Mmu(const MmuConfig &cfg, AddressSpace &as, MemorySystem &mem,
       pageShift_(as.usesLargePages() ? kPageShift2M : kPageShift4K),
       tlb_(cfg.tlb), walkers_(cfg.ptw, as.pageTable(), mem, eq)
 {
+    if (cfg_.checkInvariants) {
+        checker_ =
+            std::make_unique<InvariantChecker>(as_.pageTable());
+        tlb_.setChecker(checker_.get(), pageShift_);
+        walkers_.setChecker(checker_.get());
+    }
 }
 
 PhysAddr
@@ -28,6 +34,8 @@ Mmu::lookupBatch(const std::vector<Vpn> &vpns, int warp_id)
     out.lookups.reserve(vpns.size());
     for (Vpn vpn : vpns) {
         auto res = tlb_.lookup(vpn, warp_id);
+        if (res.hit && checker_)
+            checker_->onTlbHit(vpn, res.ppn, pageShift_);
         VpnLookup vl;
         vl.vpn = vpn;
         vl.hit = res.hit;
@@ -156,6 +164,21 @@ Mmu::shootdown()
 {
     shootdowns_.inc();
     tlb_.flush();
+}
+
+void
+Mmu::checkEndOfKernel() const
+{
+    if (!checker_)
+        return;
+    GPUMMU_ASSERT(outstanding_.empty(), outstanding_.size(),
+                  " VPNs still outstanding in the MMU at kernel end");
+    GPUMMU_ASSERT(missStart_.empty(),
+                  "miss-start timestamps leaked past kernel end");
+    GPUMMU_ASSERT(drainWaiters_.empty(), drainWaiters_.size(),
+                  " warps still blocked on a TLB drain at kernel end");
+    walkers_.checkDrained();
+    tlb_.checkSweep();
 }
 
 void

@@ -24,9 +24,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "check/invariant_checker.hh"
 #include "mmu/cacti_model.hh"
 #include "mmu/ptw.hh"
 #include "mmu/tlb.hh"
@@ -59,6 +61,14 @@ struct MmuConfig
     bool cacheOverlap = false;
     /** TLB miss status holding registers (one per warp thread). */
     unsigned mshrs = 32;
+    /**
+     * Arm the differential reference checker: every TLB fill/hit is
+     * verified against a pure functional walk, walks obey
+     * conservation, and blocking state must drain by kernel end (see
+     * check/invariant_checker.hh). Off by default; adds work but
+     * never changes simulated results.
+     */
+    bool checkInvariants = false;
 };
 
 class Mmu
@@ -162,6 +172,16 @@ class Mmu
     /** TLB shootdown from the host CPU (IPI-driven flush). */
     void shootdown();
 
+    /**
+     * Kernel-end invariant check (no-op unarmed): no outstanding
+     * walks or drain waiters, walker pool idle and conserved, every
+     * resident TLB entry still equal to its reference walk.
+     */
+    void checkEndOfKernel() const;
+
+    /** The armed checker, or nullptr (tests assert check volumes). */
+    const InvariantChecker *checker() const { return checker_.get(); }
+
     void regStats(StatRegistry &reg, const std::string &prefix);
 
     /** Full TLB-miss service time distribution (Fig. 4). */
@@ -172,6 +192,7 @@ class Mmu
     MmuConfig cfg_;
     AddressSpace &as_;
     unsigned pageShift_;
+    std::unique_ptr<InvariantChecker> checker_;
     Tlb tlb_;
     PageWalkers walkers_;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "check/invariant_checker.hh"
 #include "mem/request.hh"
 #include "sim/logging.hh"
 
@@ -26,6 +27,8 @@ PageWalkers::walkRef(PhysAddr line_addr, Cycle at)
     const Cycle issue = std::max(at, portFreeAt_);
     portFreeAt_ = issue + cfg_.portInterval;
     refsIssued_.inc();
+    if (checker_)
+        checker_->onPagingLine(line_addr, kLineShift);
     if (cfg_.pwcLines > 0 && pwc_.lookup(line_addr).hit) {
         pwcHits_.inc();
         return issue + cfg_.pwcHitLatency;
@@ -41,8 +44,11 @@ void
 PageWalkers::requestBatch(const std::vector<Vpn> &vpns, Cycle now,
                           DoneFn done)
 {
-    for (Vpn vpn : vpns)
+    for (Vpn vpn : vpns) {
+        if (checker_)
+            checker_->onWalkEnqueued(vpn);
         queue_.push_back(PendingWalk{vpn, now, done});
+    }
     pump(now);
 }
 
@@ -168,6 +174,8 @@ PageWalkers::stepLevel(unsigned w, std::shared_ptr<ActiveBatch> batch,
                                  done = walk.done, ready]() {
                 GPUMMU_ASSERT(inFlight_ > 0);
                 --inFlight_;
+                if (checker_)
+                    checker_->onWalkCompleted(vpn);
                 done(vpn, ready);
             });
         }
@@ -175,6 +183,19 @@ PageWalkers::stepLevel(unsigned w, std::shared_ptr<ActiveBatch> batch,
     eq_.schedule(level_end, [this, w, batch = std::move(batch),
                              level_end]() mutable {
         stepLevel(w, std::move(batch), level_end);
+    });
+}
+
+void
+PageWalkers::checkDrained() const
+{
+    if (!checker_)
+        return;
+    GPUMMU_ASSERT(!busy(), "walker pool busy at kernel end: ",
+                  inFlight_, " in flight, ", queue_.size(), " queued");
+    checker_->checkWalksDrained();
+    pwc_.forEach([this](std::size_t, std::uint64_t line, char) {
+        checker_->onPagingLine(line, kLineShift);
     });
 }
 

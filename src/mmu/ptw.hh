@@ -33,6 +33,8 @@
 
 namespace gpummu {
 
+class InvariantChecker;
+
 struct PtwConfig
 {
     /** Independent naive walkers (paper compares 1, 2, 4, 8). */
@@ -81,6 +83,21 @@ class PageWalkers
     bool busy() const { return inFlight_ > 0 || !queue_.empty(); }
 
     unsigned inFlight() const { return inFlight_; }
+
+    /**
+     * Arm invariant checking: walk conservation (every enqueued walk
+     * completes exactly once, across batching and coalescing) and
+     * paging-structure containment of every issued reference and
+     * walk-cache entry.
+     */
+    void setChecker(InvariantChecker *chk) { checker_ = chk; }
+
+    /**
+     * Kernel-end check: nothing queued or in flight, conservation
+     * balanced, every resident walk-cache line still inside a live
+     * paging-structure page. No-op when unarmed.
+     */
+    void checkDrained() const;
 
     void regStats(StatRegistry &reg, const std::string &prefix);
 
@@ -146,6 +163,7 @@ class PageWalkers
     const PageTable &pt_;
     MemorySystem &mem_;
     EventQueue &eq_;
+    InvariantChecker *checker_ = nullptr;
 
     std::deque<PendingWalk> queue_;
     std::vector<bool> walkerBusy_;

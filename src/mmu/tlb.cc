@@ -1,5 +1,7 @@
 #include "mmu/tlb.hh"
 
+#include "check/invariant_checker.hh"
+
 namespace gpummu {
 
 Tlb::Tlb(const TlbConfig &cfg)
@@ -55,6 +57,8 @@ Tlb::probe(Vpn vpn) const
 void
 Tlb::fill(Vpn vpn, const Translation &t, int alloc_warp)
 {
+    if (checker_)
+        checker_->onTlbFill(vpn, t.ppn, t.isLarge, checkShift_);
     TlbEntryInfo info;
     info.ppn = t.ppn;
     info.isLarge = t.isLarge;
@@ -62,6 +66,20 @@ Tlb::fill(Vpn vpn, const Translation &t, int alloc_warp)
     auto victim = array_.insert(vpn, info);
     if (victim && onEvict_)
         onEvict_(victim->tag, victim->payload.allocWarp);
+    checkSweep();
+}
+
+void
+Tlb::checkSweep() const
+{
+    if (!checker_)
+        return;
+    checker_->beginTlbSweep();
+    array_.forEach([this](std::size_t set, std::uint64_t tag,
+                          const TlbEntryInfo &e) {
+        checker_->onTlbEntry(set, tag, e.ppn, e.isLarge, checkShift_);
+    });
+    checker_->endTlbSweep();
 }
 
 void

@@ -25,6 +25,8 @@
 
 namespace gpummu {
 
+class InvariantChecker;
+
 struct TlbConfig
 {
     std::size_t entries = 128; ///< paper baseline
@@ -88,6 +90,21 @@ class Tlb
         onEvict_ = std::move(fn);
     }
 
+    /**
+     * Arm invariant checking: every fill is verified against the
+     * reference translator and followed by a full-array sweep.
+     * @p page_shift is the tag granularity (12 or 21).
+     */
+    void
+    setChecker(InvariantChecker *chk, unsigned page_shift)
+    {
+        checker_ = chk;
+        checkShift_ = page_shift;
+    }
+
+    /** One reference-equality + duplicate-tag sweep (no-op unarmed). */
+    void checkSweep() const;
+
     const TlbConfig &config() const { return cfg_; }
 
     void regStats(StatRegistry &reg, const std::string &prefix);
@@ -104,6 +121,8 @@ class Tlb
     TlbConfig cfg_;
     SetAssocArray<TlbEntryInfo> array_;
     EvictionListener onEvict_;
+    InvariantChecker *checker_ = nullptr;
+    unsigned checkShift_ = kPageShift4K;
 
     Counter accesses_;
     Counter hits_;

@@ -9,6 +9,7 @@ PageTable::PageTable(PhysicalMemory &phys) : phys_(phys)
     // Allocate the root (PML4) table page.
     tables_.emplace_back();
     tables_.back().frame = phys_.allocFrame();
+    frameToTable_.emplace(tables_.back().frame, 0);
 }
 
 PhysAddr
@@ -36,8 +37,39 @@ PageTable::childTable(std::size_t tid, unsigned idx)
     tables_.back().frame = phys_.allocFrame();
     const std::size_t child = tables_.size() - 1;
     // Note: emplace_back may have moved tables_, re-index the parent.
+    tables_[child].level = tables_[tid].level + 1;
     tables_[tid].slots[idx] = static_cast<std::int64_t>(child);
+    frameToTable_.emplace(tables_[child].frame, child);
     return child;
+}
+
+RawEntry
+PageTable::readEntry(PhysAddr entry_addr) const
+{
+    const Ppn frame = entry_addr >> kPageShift4K;
+    auto it = frameToTable_.find(frame);
+    GPUMMU_ASSERT(it != frameToTable_.end(),
+                  "readEntry at ", entry_addr,
+                  " outside any paging-structure page");
+    GPUMMU_ASSERT((entry_addr & 0x7) == 0,
+                  "misaligned page-table entry address ", entry_addr);
+    const TablePage &t = tables_[it->second];
+    const unsigned idx =
+        static_cast<unsigned>((entry_addr & (kPageSize4K - 1)) / 8);
+
+    RawEntry e;
+    const std::int64_t slot = t.slots[idx];
+    if (slot < 0)
+        return e;
+    e.present = true;
+    if (t.level == kWalkLevels4K - 1 || t.largeLeaf[idx]) {
+        e.leaf = true;
+        e.large = t.largeLeaf[idx];
+        e.value = static_cast<std::uint64_t>(slot);
+    } else {
+        e.value = tables_[static_cast<std::size_t>(slot)].frame;
+    }
+    return e;
 }
 
 void

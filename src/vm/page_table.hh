@@ -54,6 +54,20 @@ struct WalkPath
     Translation result;
 };
 
+/**
+ * One raw page-table entry as an independent walker would read it
+ * out of simulated physical memory: either absent, a pointer to the
+ * next-level table page, or a terminal (4KB or 2MB) mapping.
+ */
+struct RawEntry
+{
+    bool present = false;
+    bool leaf = false;  ///< terminal mapping (PT entry or 2MB PD entry)
+    bool large = false; ///< 2MB leaf (only ever set at the PD level)
+    /** Leaf PPN when leaf, child table page frame otherwise. */
+    std::uint64_t value = 0;
+};
+
 class PageTable
 {
   public:
@@ -88,6 +102,21 @@ class PageTable
     /** Number of table pages allocated (all levels). */
     std::uint64_t tablePages() const { return tables_.size(); }
 
+    /**
+     * Read one raw entry by its physical byte address, the way an
+     * independent walker (check/RefTranslator) traverses the radix:
+     * follow rootAddr(), compute the entry address, read it, chase
+     * the returned frame. Panics when @p entry_addr does not fall
+     * inside a live paging-structure page.
+     */
+    RawEntry readEntry(PhysAddr entry_addr) const;
+
+    /** Does @p frame back one of this table's paging-structure pages? */
+    bool isTableFrame(Ppn frame) const
+    {
+        return frameToTable_.count(frame) != 0;
+    }
+
     /** 9-bit radix index for @p level (0 = PML4) of a 4KB VPN. */
     static unsigned
     radixIndex(Vpn vpn, unsigned level)
@@ -105,9 +134,10 @@ class PageTable
         std::array<std::int64_t, 512> slots;
         /** Slot maps to a 2MB leaf (only meaningful at PD level). */
         std::array<bool, 512> largeLeaf;
-        Ppn frame; ///< physical frame backing this table page
+        Ppn frame;      ///< physical frame backing this table page
+        unsigned level; ///< radix depth: 0 = PML4 .. 3 = PT
 
-        TablePage() : frame(0)
+        TablePage() : frame(0), level(0)
         {
             slots.fill(-1);
             largeLeaf.fill(false);
@@ -121,6 +151,8 @@ class PageTable
 
     PhysicalMemory &phys_;
     std::vector<TablePage> tables_; ///< index 0 is the root (PML4)
+    /** Backing frame -> index in tables_, for readEntry. */
+    std::unordered_map<Ppn, std::size_t> frameToTable_;
 };
 
 } // namespace gpummu

@@ -92,6 +92,50 @@ TEST(Determinism, ReplayIsStableThroughTheParallelRunner)
     }
 }
 
+TEST(Determinism, ArmedCheckerIsBitIdenticalAndVerifiesFills)
+{
+    // Arming the reference checker differentially verifies every TLB
+    // fill, hit and walk of the run (a mismatch panics), and must not
+    // perturb the simulation: identical stats, byte-identical JSON.
+    const auto cfg = paperDefault();
+    auto armed = cfg;
+    armed.checkInvariants = true;
+    for (BenchmarkId id : allBenchmarks()) {
+        const RunOutput plain = runConfigFull(id, cfg, tinyParams());
+        const RunOutput chk = runConfigFull(id, armed, tinyParams());
+        EXPECT_TRUE(plain.stats == chk.stats) << benchmarkName(id);
+        EXPECT_EQ(plain.statsJson, chk.statsJson)
+            << benchmarkName(id);
+    }
+}
+
+TEST(Determinism, ArmedCheckerCoversLargePagesAndIommu)
+{
+    // The 2MB-granularity and shared-IOMMU translation paths carry
+    // their own tag/frame math; run each armed so the reference walk
+    // cross-checks them too, again without perturbing results.
+    auto large = presets::withLargePages(paperDefault());
+    auto large_armed = large;
+    large_armed.checkInvariants = true;
+    const RunOutput lp =
+        runConfigFull(BenchmarkId::Bfs, large, tinyParams());
+    const RunOutput lpc =
+        runConfigFull(BenchmarkId::Bfs, large_armed, tinyParams());
+    EXPECT_TRUE(lp.stats == lpc.stats);
+    EXPECT_EQ(lp.statsJson, lpc.statsJson);
+
+    auto io = presets::iommu();
+    io.numCores = 4;
+    auto io_armed = io;
+    io_armed.checkInvariants = true;
+    const RunOutput i0 =
+        runConfigFull(BenchmarkId::Bfs, io, tinyParams());
+    const RunOutput i1 =
+        runConfigFull(BenchmarkId::Bfs, io_armed, tinyParams());
+    EXPECT_TRUE(i0.stats == i1.stats);
+    EXPECT_EQ(i0.statsJson, i1.statsJson);
+}
+
 TEST(Determinism, SeedIsTheOnlyFreeVariable)
 {
     const auto cfg = paperDefault();

@@ -1,8 +1,10 @@
 /**
  * @file
- * Golden-stats regression: tolerance-0 comparison of each workload's
- * full JSON stat dump against a checked-in golden file, under the
- * baseline augmented-MMU preset at a fixed (scale, seed, numCores).
+ * Golden-stats regression: tolerance-0 comparison of full JSON stat
+ * dumps against checked-in golden files at a fixed (scale, seed,
+ * numCores) pin-point. Every workload runs under the baseline
+ * augmented-MMU preset, plus one benchmark each through the CCWS and
+ * TBC scheduler paths so those subsystems are pinned too.
  *
  * This pins simulated behaviour: a perf PR that only makes the
  * simulator faster leaves these dumps byte-identical, while any
@@ -19,6 +21,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/presets.hh"
 #include "core/sweep.hh"
@@ -47,11 +50,33 @@ goldenConfig()
     return cfg;
 }
 
-std::string
-goldenPath(BenchmarkId id)
+/** One pinned (config, benchmark) point; label names the golden. */
+struct GoldenCase
 {
-    return std::string(GPUMMU_GOLDEN_DIR) + "/" + benchmarkName(id) +
-           ".json";
+    std::string label; ///< golden file stem, "<bench>[_<suffix>]"
+    BenchmarkId bench;
+    SystemConfig cfg;
+};
+
+std::vector<GoldenCase>
+goldenCases()
+{
+    std::vector<GoldenCase> cases;
+    for (BenchmarkId id : allBenchmarks())
+        cases.push_back({benchmarkName(id), id, goldenConfig()});
+    // Scheduler paths: one benchmark each keeps tier-1 wall-clock
+    // flat while pinning the CCWS scoring and TBC compaction logic.
+    cases.push_back({"bfs_ccws", BenchmarkId::Bfs,
+                     presets::ccws(goldenConfig())});
+    cases.push_back({"mummergpu_tbc", BenchmarkId::Mummergpu,
+                     presets::tbc(goldenConfig())});
+    return cases;
+}
+
+std::string
+goldenPath(const GoldenCase &c)
+{
+    return std::string(GPUMMU_GOLDEN_DIR) + "/" + c.label + ".json";
 }
 
 std::string
@@ -65,7 +90,7 @@ readFile(const std::string &path)
     return os.str();
 }
 
-class GoldenStats : public ::testing::TestWithParam<BenchmarkId>
+class GoldenStats : public ::testing::TestWithParam<GoldenCase>
 {
 };
 
@@ -73,11 +98,10 @@ class GoldenStats : public ::testing::TestWithParam<BenchmarkId>
 
 TEST_P(GoldenStats, DumpMatchesGoldenByteForByte)
 {
-    const BenchmarkId id = GetParam();
-    const RunOutput out =
-        runConfigFull(id, goldenConfig(), goldenParams());
+    const GoldenCase &c = GetParam();
+    const RunOutput out = runConfigFull(c.bench, c.cfg, goldenParams());
     const std::string current = out.statsJson + "\n";
-    const std::string path = goldenPath(id);
+    const std::string path = goldenPath(c);
 
     if (update_golden) {
         std::ofstream f(path, std::ios::binary | std::ios::trunc);
@@ -92,16 +116,15 @@ TEST_P(GoldenStats, DumpMatchesGoldenByteForByte)
         << "missing golden " << path
         << "; run test_golden_stats --update-golden";
     EXPECT_EQ(golden, current)
-        << "simulated behaviour changed for " << benchmarkName(id)
+        << "simulated behaviour changed for " << c.label
         << "; if intentional, regenerate with --update-golden and "
            "review the diff";
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllWorkloads, GoldenStats,
-    ::testing::ValuesIn(allBenchmarks()),
-    [](const ::testing::TestParamInfo<BenchmarkId> &info) {
-        return benchmarkName(info.param);
+    AllWorkloads, GoldenStats, ::testing::ValuesIn(goldenCases()),
+    [](const ::testing::TestParamInfo<GoldenCase> &info) {
+        return info.param.label;
     });
 
 int

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
+#include "check/invariant_checker.hh"
 #include "mmu/ptw.hh"
 #include "sim/event_queue.hh"
 #include "vm/page_table.hh"
@@ -216,4 +219,86 @@ TEST_F(PtwFixture, QueuedWalksAllComplete)
     eq.runUntil(10'000'000);
     EXPECT_EQ(done, 32);
     EXPECT_GE(w.refsEliminated(), 1u);
+}
+
+TEST_F(PtwFixture, BatchConservationUnderCoalescing)
+{
+    // N walks whose upper-level references collapse heavily (shared
+    // PML4/PDP/PD entries, PT entries on shared 128-byte lines) must
+    // still complete exactly once each: coalescing merges *loads*,
+    // never walk completions.
+    std::vector<Vpn> vpns;
+    for (unsigned i = 0; i < 24; ++i) {
+        vpns.push_back(vpnOf(6, 1, i / 12, i % 12)); // 2 PD subtrees
+        pt.map4K(vpns.back(), 100 + i);
+    }
+    InvariantChecker chk(pt);
+    PtwConfig cfg;
+    cfg.scheduling = true;
+    auto w = make(cfg);
+    w.setChecker(&chk);
+
+    std::map<Vpn, int> completions;
+    w.requestBatch(vpns, 0,
+                   [&](Vpn v, Cycle) { completions[v]++; });
+    eq.runUntil(10'000'000);
+
+    ASSERT_EQ(completions.size(), vpns.size());
+    for (Vpn v : vpns)
+        EXPECT_EQ(completions[v], 1) << "vpn " << v;
+    EXPECT_EQ(w.walksCompleted(), vpns.size());
+    EXPECT_GE(w.refsEliminated(), 1u);
+    EXPECT_EQ(chk.walksTracked(), vpns.size());
+    w.checkDrained();
+}
+
+TEST_F(PtwFixture, DuplicateVpnsEachCompleteOnce)
+{
+    // The walker pool does not dedup VPNs (the Mmu's outstanding_
+    // table does); two requests for one page are two completions.
+    const Vpn v = vpnOf(7, 7, 7, 7);
+    pt.map4K(v, 5);
+    InvariantChecker chk(pt);
+    PtwConfig cfg;
+    cfg.scheduling = true;
+    auto w = make(cfg);
+    w.setChecker(&chk);
+    int done = 0;
+    w.requestBatch({v, v, v}, 0, [&](Vpn got, Cycle) {
+        EXPECT_EQ(got, v);
+        ++done;
+    });
+    eq.runUntil(1'000'000);
+    EXPECT_EQ(done, 3);
+    w.checkDrained();
+}
+
+TEST_F(PtwFixture, ConservationAcrossQueuedNaiveBatches)
+{
+    // Batches that queue behind busy naive walkers keep conservation:
+    // enqueue N across three requestBatch calls, see exactly N
+    // completions, and drain clean with the checker armed.
+    std::vector<Vpn> vpns;
+    for (unsigned i = 0; i < 12; ++i) {
+        vpns.push_back(vpnOf(8, i % 3, i, 2 * i));
+        pt.map4K(vpns.back(), 200 + i);
+    }
+    InvariantChecker chk(pt);
+    PtwConfig cfg;
+    cfg.numWalkers = 2;
+    auto w = make(cfg);
+    w.setChecker(&chk);
+    std::map<Vpn, int> completions;
+    auto count = [&](Vpn v, Cycle) { completions[v]++; };
+    w.requestBatch({vpns.begin(), vpns.begin() + 4}, 0, count);
+    w.requestBatch({vpns.begin() + 4, vpns.begin() + 8}, 0, count);
+    w.requestBatch({vpns.begin() + 8, vpns.end()}, 5, count);
+    EXPECT_TRUE(w.busy());
+    eq.runUntil(10'000'000);
+    ASSERT_EQ(completions.size(), vpns.size());
+    for (Vpn v : vpns)
+        EXPECT_EQ(completions[v], 1);
+    EXPECT_EQ(chk.walksTracked(), vpns.size());
+    EXPECT_FALSE(w.busy());
+    w.checkDrained();
 }

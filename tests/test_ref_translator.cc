@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the functional reference translator, including a
+ * differential sweep against PageTable's own walk/translate over
+ * address spaces built the way workloads build them.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/ref_translator.hh"
+#include "vm/address_space.hh"
+#include "vm/page_table.hh"
+#include "vm/physical_memory.hh"
+
+using namespace gpummu;
+
+namespace {
+
+Vpn
+vpnOf(unsigned pml4, unsigned pdp, unsigned pd, unsigned pt)
+{
+    return (static_cast<Vpn>(pml4) << 27) |
+           (static_cast<Vpn>(pdp) << 18) |
+           (static_cast<Vpn>(pd) << 9) | pt;
+}
+
+} // namespace
+
+TEST(RefTranslator, Walks4KMapping)
+{
+    PhysicalMemory phys(1 << 18, false);
+    PageTable pt(phys);
+    const Vpn vpn = vpnOf(0xb9, 0x0c, 0xac, 0x03);
+    pt.map4K(vpn, 77);
+
+    RefTranslator ref(pt);
+    auto w = ref.walk(vpn);
+    ASSERT_TRUE(w.has_value());
+    EXPECT_EQ(w->levels, kWalkLevels4K);
+    EXPECT_EQ(w->result.ppn, 77u);
+    EXPECT_FALSE(w->result.isLarge);
+
+    // The independent walk must touch the exact entry addresses the
+    // timing model's walk trace reports.
+    const WalkPath path = pt.walk(vpn);
+    ASSERT_EQ(path.levels, w->levels);
+    for (unsigned l = 0; l < w->levels; ++l)
+        EXPECT_EQ(w->entryAddrs[l], path.entryAddrs[l]) << "level " << l;
+}
+
+TEST(RefTranslator, Walks2MMappingInThreeLevels)
+{
+    PhysicalMemory phys(1 << 18, false);
+    PageTable pt(phys);
+    const std::uint64_t per_large = kPageSize2M / kPageSize4K;
+    pt.map2M(5, 4 * per_large);
+
+    RefTranslator ref(pt);
+    // Probe a VPN in the middle of the 2MB region: the reference must
+    // add the in-region offset exactly like the radix hardware does.
+    const Vpn vpn = (5ULL << 9) + 37;
+    auto w = ref.walk(vpn);
+    ASSERT_TRUE(w.has_value());
+    EXPECT_EQ(w->levels, kWalkLevels2M);
+    EXPECT_TRUE(w->result.isLarge);
+    EXPECT_EQ(w->result.ppn, 4 * per_large + 37);
+
+    const WalkPath path = pt.walk(vpn);
+    ASSERT_EQ(path.levels, w->levels);
+    for (unsigned l = 0; l < w->levels; ++l)
+        EXPECT_EQ(w->entryAddrs[l], path.entryAddrs[l]) << "level " << l;
+}
+
+TEST(RefTranslator, UnmappedReturnsNulloptNotPanic)
+{
+    PhysicalMemory phys(1 << 18, false);
+    PageTable pt(phys);
+    pt.map4K(vpnOf(1, 2, 3, 4), 9);
+    RefTranslator ref(pt);
+
+    // Fully unmapped subtree (missing PML4 entry).
+    EXPECT_FALSE(ref.walk(vpnOf(2, 0, 0, 0)).has_value());
+    // Sibling of a mapped page inside the same PT page.
+    EXPECT_FALSE(ref.walk(vpnOf(1, 2, 3, 5)).has_value());
+    // Edge VPNs of the 36-bit space.
+    EXPECT_FALSE(ref.walk(0).has_value());
+    EXPECT_FALSE(ref.walk((1ULL << 36) - 1).has_value());
+    // PageTable::walk panics on the same probe; the reference must
+    // stay usable for fuzzing unmapped inputs instead.
+    EXPECT_FALSE(ref.translate(vpnOf(2, 0, 0, 0)).has_value());
+}
+
+TEST(RefTranslator, FrameBaseAtBothGranularities)
+{
+    PhysicalMemory phys(1 << 18, false);
+    PageTable pt(phys);
+    const std::uint64_t per_large = kPageSize2M / kPageSize4K;
+    pt.map4K(vpnOf(0, 0, 1, 7), 123);
+    pt.map2M(9, 6 * per_large);
+
+    RefTranslator ref(pt);
+    auto f4 = ref.frameBase(vpnOf(0, 0, 1, 7), kPageShift4K);
+    ASSERT_TRUE(f4.has_value());
+    EXPECT_EQ(*f4, 123u);
+
+    // 2MB tag granularity: the frame base is in 2MB units, the way
+    // an Mmu over a large-page address space stores it.
+    auto f2 = ref.frameBase(9, kPageShift2M);
+    ASSERT_TRUE(f2.has_value());
+    EXPECT_EQ(*f2, 6u);
+
+    EXPECT_FALSE(ref.frameBase(vpnOf(3, 0, 0, 0), kPageShift4K));
+    EXPECT_FALSE(ref.frameBase(100, kPageShift2M));
+}
+
+TEST(RefTranslator, FrameBaseRejects2MTagOver4KMapping)
+{
+    PhysicalMemory phys(1 << 18, false);
+    PageTable pt(phys);
+    // 2MB tag 0 covers 4KB VPNs [0, 512); map its first VPN small.
+    pt.map4K(0, 50);
+    RefTranslator ref(pt);
+    EXPECT_DEATH(ref.frameBase(0, kPageShift2M), "4KB mapping");
+}
+
+TEST(RefTranslator, DifferentialSweepOverAddressSpace)
+{
+    // Build a space the way workloads do and check every mapped page
+    // (plus the guard pages between regions) against PageTable's own
+    // functional translation.
+    for (bool large : {false, true}) {
+        PhysicalMemory phys(1 << 20, /*scramble=*/true);
+        AddressSpace as(phys, large);
+        as.mmap("a", 3 * kPageSize4K + 100);
+        as.mmap("b", kPageSize2M + kPageSize4K);
+        as.mmap("c", 17);
+
+        RefTranslator ref(as.pageTable());
+        std::uint64_t checked = 0;
+        for (const VmRegion &r : as.regions()) {
+            const Vpn lo = r.base >> kPageShift4K;
+            const Vpn hi = (r.end() - 1) >> kPageShift4K;
+            for (Vpn vpn = lo; vpn <= hi; ++vpn) {
+                auto expect = as.pageTable().translate(vpn);
+                auto got = ref.translate(vpn);
+                ASSERT_TRUE(expect.has_value());
+                ASSERT_TRUE(got.has_value()) << "vpn " << vpn;
+                EXPECT_EQ(got->ppn, expect->ppn) << "vpn " << vpn;
+                EXPECT_EQ(got->isLarge, expect->isLarge);
+                ++checked;
+            }
+            // Guard page directly after the region (4KB mode mmap
+            // leaves one unmapped page; 2MB mode aligns up, so only
+            // probe when the next page really is unmapped).
+            const Vpn guard = hi + 1;
+            if (!as.pageTable().translate(guard).has_value()) {
+                EXPECT_FALSE(ref.translate(guard).has_value());
+            }
+        }
+        EXPECT_GT(checked, large ? 3u : 500u);
+    }
+}

@@ -149,3 +149,90 @@ TEST(Tlb, LargePageEntries)
     EXPECT_TRUE(res.isLarge);
     EXPECT_EQ(res.ppn, 77u);
 }
+
+TEST(Tlb, EvictionUnderMixed4KAnd2MEntries)
+{
+    // Large and small entries coexist in one array (the tag already
+    // encodes the granularity); replacement must stay strict LRU with
+    // the page-size payload carried intact through an eviction cycle.
+    TlbConfig cfg;
+    cfg.entries = 4;
+    cfg.ways = 4;
+    Tlb tlb(cfg);
+    std::vector<Vpn> evicted;
+    tlb.setEvictionListener([&](Vpn v, int) { evicted.push_back(v); });
+    tlb.fill(10, Translation{1, false});
+    tlb.fill(11, Translation{2, true});
+    tlb.fill(12, Translation{3, false});
+    tlb.fill(13, Translation{4, true});
+    // Touch the small entry so the large one becomes LRU.
+    EXPECT_FALSE(tlb.lookup(10, 0).isLarge);
+    tlb.fill(14, Translation{5, false});
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0], 11u); // the large entry, not the touched one
+    auto big = tlb.lookup(13, 0);
+    ASSERT_TRUE(big.hit);
+    EXPECT_TRUE(big.isLarge);
+    EXPECT_EQ(big.ppn, 4u);
+    tlb.fill(15, Translation{6, true});
+    ASSERT_EQ(evicted.size(), 2u);
+    EXPECT_EQ(evicted[1], 12u);
+}
+
+TEST(Tlb, DuplicateFillKeepsOneEntry)
+{
+    // Refilling a resident VPN (two warps' walks for the same page
+    // completing back to back) must update the single entry in place,
+    // never allocate a duplicate way.
+    TlbConfig cfg;
+    cfg.entries = 4;
+    cfg.ways = 4;
+    Tlb tlb(cfg);
+    int evictions = 0;
+    tlb.setEvictionListener([&](Vpn, int) { ++evictions; });
+    tlb.fill(1, Translation{10, false});
+    tlb.fill(2, Translation{20, false});
+    tlb.fill(3, Translation{30, false});
+    tlb.fill(1, Translation{10, false}); // duplicate, promotes to MRU
+    tlb.fill(4, Translation{40, false});
+    // 4 distinct VPNs in a 4-way set: a duplicate way would have
+    // forced an eviction here.
+    EXPECT_EQ(evictions, 0);
+    EXPECT_EQ(tlb.lookup(1, 0).ppn, 10u);
+    // Now a 5th distinct VPN evicts true-LRU 2 (1 was promoted).
+    tlb.fill(5, Translation{50, false});
+    EXPECT_EQ(evictions, 1);
+    EXPECT_FALSE(tlb.probe(2));
+    EXPECT_TRUE(tlb.probe(1));
+}
+
+TEST(Tlb, LruOrderAfterHitUnderMiss)
+{
+    // Hit-under-miss: while one warp's miss is walking, other warps
+    // keep hitting. Those hits must promote their entries so the
+    // eventual fill evicts the genuinely coldest entry, and missing
+    // lookups must not disturb the stack.
+    TlbConfig cfg;
+    cfg.entries = 4;
+    cfg.ways = 4;
+    Tlb tlb(cfg);
+    tlb.fill(1, Translation{1, false});
+    tlb.fill(2, Translation{2, false});
+    tlb.fill(3, Translation{3, false});
+    tlb.fill(4, Translation{4, false});
+    EXPECT_FALSE(tlb.lookup(9, 0).hit); // the miss that starts a walk
+    // Hits under the outstanding miss, coldest-first.
+    EXPECT_EQ(tlb.lookup(1, 1).depth, 3u);
+    EXPECT_EQ(tlb.lookup(2, 2).depth, 3u);
+    // More missing lookups (re-probes) leave LRU untouched.
+    EXPECT_FALSE(tlb.lookup(9, 0).hit);
+    // The walk's fill now evicts 3: 1 and 2 were promoted, 4 is MRU
+    // of the original fills, leaving 3 at the LRU position.
+    tlb.fill(9, Translation{9, false});
+    EXPECT_FALSE(tlb.probe(3));
+    EXPECT_TRUE(tlb.probe(1));
+    EXPECT_TRUE(tlb.probe(2));
+    EXPECT_TRUE(tlb.probe(4));
+    // Stack order afterwards: 9 (fill) > 2 > 1 > 4.
+    EXPECT_EQ(tlb.lookup(4, 0).depth, 3u);
+}
