@@ -10,6 +10,13 @@
  *   --jobs=<n>    sweep worker threads (default: GPUMMU_JOBS env,
  *                 else all hardware threads; results are identical
  *                 at any job count)
+ *   --trace=<file>         after the sweep, re-run one point with
+ *                          event tracing armed and write Chrome
+ *                          trace-event JSON (open in Perfetto or
+ *                          chrome://tracing)
+ *   --trace-filter=<pfx>   restrict the trace to categories whose
+ *                          name starts with <pfx> (tlb, ptw,
+ *                          coalescer, l1, l2, dram, core)
  */
 
 #ifndef BENCH_BENCH_UTIL_HH
@@ -24,6 +31,7 @@
 #include "core/experiment.hh"
 #include "core/presets.hh"
 #include "core/sweep.hh"
+#include "trace/trace.hh"
 
 namespace gpummu {
 namespace benchutil {
@@ -34,6 +42,10 @@ struct Options
     std::vector<BenchmarkId> benchmarks;
     /** Sweep worker threads; 0 resolves via GPUMMU_JOBS. */
     unsigned jobs = 0;
+    /** Chrome trace output path; empty disables tracing. */
+    std::string traceFile;
+    /** Category-name prefix filter for the traced run. */
+    std::string traceFilter;
 };
 
 inline Options
@@ -61,6 +73,14 @@ parse(int argc, char **argv, double default_scale = 0.25)
         } else if (const char *v = value("--seed")) {
             opt.params.seed =
                 static_cast<std::uint64_t>(std::atoll(v));
+        } else if (const char *v = value("--trace")) {
+            opt.traceFile = v;
+            if (opt.traceFile.empty()) {
+                std::cerr << "--trace wants an output path\n";
+                std::exit(1);
+            }
+        } else if (const char *v = value("--trace-filter")) {
+            opt.traceFilter = v;
         } else if (const char *v = value("--bench")) {
             opt.benchmarks.clear();
             for (BenchmarkId id : allBenchmarks()) {
@@ -96,6 +116,35 @@ prewarm(Experiment &exp, const std::vector<BenchmarkId> &benchmarks,
             grid.push_back(SweepPoint{id, cfg});
     }
     SweepRunner(exp, jobs).run(grid);
+}
+
+/**
+ * Honor --trace=<file>: re-simulate one (benchmark, config) point
+ * with a TraceSink armed and export Chrome trace-event JSON. A sink
+ * belongs to exactly one run, so this is a separate simulation after
+ * the sweep - the table numbers above are untouched (armed and
+ * unarmed runs are bit-identical anyway). Uses the first selected
+ * benchmark; narrow with --bench=<name> to trace a specific one.
+ */
+inline void
+maybeTraceRun(const Options &opt, const SystemConfig &cfg)
+{
+    if (opt.traceFile.empty())
+        return;
+    TraceSink sink;
+    if (!opt.traceFilter.empty())
+        sink.setFilter(opt.traceFilter);
+    const BenchmarkId bench = opt.benchmarks.front();
+    runConfigFull(bench, cfg, opt.params, &sink);
+    if (!sink.writeChromeTraceFile(opt.traceFile)) {
+        std::cerr << "failed to write trace: " << opt.traceFile
+                  << "\n";
+        std::exit(1);
+    }
+    std::cerr << "trace: " << sink.size() << " events ("
+              << sink.dropped() << " dropped) -> " << opt.traceFile
+              << " [" << benchmarkName(bench) << " / " << cfg.name
+              << "]\n";
 }
 
 /** Geometric mean helper for "average speedup" rows. */

@@ -11,26 +11,58 @@
  * count.
  *
  * Usage: mmu_sweep [benchmark] [scale] [jobs]
+ *                  [--trace=<file>] [--trace-filter=<prefix>]
  *        (jobs defaults to GPUMMU_JOBS, else all hardware threads)
+ *
+ * With --trace=<file>, one extra run of the augmented design point is
+ * simulated after the sweep with event tracing armed, and the result
+ * is written as Chrome trace-event JSON (open in Perfetto or
+ * chrome://tracing). --trace-filter restricts recording to categories
+ * whose name starts with the prefix (tlb, ptw, coalescer, l1, l2,
+ * dram, core).
  */
 
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/experiment.hh"
 #include "core/presets.hh"
 #include "core/sweep.hh"
+#include "trace/trace.hh"
 
 using namespace gpummu;
 
 int
 main(int argc, char **argv)
 {
-    std::string name = argc > 1 ? argv[1] : "bfs";
+    // Flags can appear anywhere; positionals keep their order.
+    std::string trace_file, trace_filter;
+    std::vector<std::string> pos;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--trace=", 0) == 0) {
+            trace_file = arg.substr(8);
+        } else if (arg.rfind("--trace-filter=", 0) == 0) {
+            trace_filter = arg.substr(15);
+        } else if (arg.rfind("--", 0) == 0) {
+            std::cerr << "unknown option: " << arg
+                      << "\nusage: mmu_sweep [benchmark] [scale] "
+                         "[jobs] [--trace=<file>] "
+                         "[--trace-filter=<prefix>]\n";
+            return 2;
+        } else {
+            pos.push_back(arg);
+        }
+    }
+
+    std::string name = pos.size() > 0 ? pos[0] : "bfs";
     WorkloadParams params;
-    params.scale = argc > 2 ? std::atof(argv[2]) : 0.25;
+    params.scale = pos.size() > 1 ? std::atof(pos[1].c_str()) : 0.25;
     params.seed = 42;
     const unsigned jobs =
-        argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 0;
+        pos.size() > 2 ? static_cast<unsigned>(std::atoi(pos[2].c_str()))
+                       : 0;
 
     BenchmarkId bench = BenchmarkId::Bfs;
     for (BenchmarkId id : allBenchmarks()) {
@@ -79,5 +111,24 @@ main(int argc, char **argv)
                               3)});
     }
     table.print(std::cout);
+
+    // A TraceSink belongs to exactly one run, so the traced point is
+    // a separate simulation after the sweep (timing is bit-identical
+    // either way; tracing is observation-only).
+    if (!trace_file.empty()) {
+        TraceSink sink;
+        if (!trace_filter.empty())
+            sink.setFilter(trace_filter);
+        const SystemConfig traced = presets::augmentedTlb();
+        runConfigFull(bench, traced, params, &sink);
+        if (!sink.writeChromeTraceFile(trace_file)) {
+            std::cerr << "failed to write trace: " << trace_file
+                      << "\n";
+            return 1;
+        }
+        std::cout << "\ntrace: " << sink.size() << " events ("
+                  << sink.dropped() << " dropped) -> " << trace_file
+                  << " [" << name << " / " << traced.name << "]\n";
+    }
     return 0;
 }

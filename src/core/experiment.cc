@@ -76,7 +76,7 @@ finishRun(GpuTop &gpu, BenchmarkId bench, const SystemConfig &cfg)
 
 RunOutput
 runConfigFull(BenchmarkId bench, const SystemConfig &cfg_in,
-              const WorkloadParams &params)
+              const WorkloadParams &params, TraceSink *trace)
 {
     // Fan the top-level checker switch out to every translation unit
     // of the run before any core is built.
@@ -91,6 +91,8 @@ runConfigFull(BenchmarkId bench, const SystemConfig &cfg_in,
         GpuTop gpu(cfg.numCores, cfg.mem, *workload,
                    makeCoreFactory(cfg), cfg.largePages,
                    cfg.physFrames);
+        if (trace != nullptr)
+            gpu.setTraceSink(trace);
         return finishRun(gpu, bench, cfg);
     }
 
@@ -117,6 +119,13 @@ runConfigFull(BenchmarkId bench, const SystemConfig &cfg_in,
                cfg.largePages, cfg.physFrames);
     if (*iommu_holder)
         (*iommu_holder)->regStats(gpu.stats(), "iommu");
+    if (trace != nullptr) {
+        gpu.setTraceSink(trace);
+        // The shared IOMMU is not a per-core component; arm it
+        // directly (tid -1 marks the GPU-wide instance).
+        if (*iommu_holder)
+            (*iommu_holder)->setTraceSink(trace, -1);
+    }
     RunOutput out = finishRun(gpu, bench, cfg);
     // The shared IOMMU is not reached by GpuTop's per-core sweep, so
     // its drain invariants are verified here.

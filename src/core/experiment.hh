@@ -29,6 +29,8 @@
 
 namespace gpummu {
 
+class TraceSink;
+
 /**
  * Everything one simulation produces: the aggregate RunStats plus a
  * machine-readable JSON dump of the full StatRegistry. The JSON is
@@ -45,9 +47,15 @@ struct RunOutput
 RunStats runConfig(BenchmarkId bench, const SystemConfig &cfg,
                    const WorkloadParams &params);
 
-/** As runConfig, but also capture the JSON stat dump. */
+/**
+ * As runConfig, but also capture the JSON stat dump. @p trace, when
+ * non-null, is armed on the run's GpuTop before the cycle loop
+ * (observation-only; the sink must outlive the call and belongs to
+ * exactly this run — sweeps passing a sink must not share it).
+ */
 RunOutput runConfigFull(BenchmarkId bench, const SystemConfig &cfg,
-                        const WorkloadParams &params);
+                        const WorkloadParams &params,
+                        TraceSink *trace = nullptr);
 
 /**
  * Convenience harness for the benches: caches the no-TLB baseline

@@ -6,6 +6,7 @@
 #include "mem/l1_cache.hh"
 #include "mmu/mmu.hh"
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace gpummu {
 
@@ -54,6 +55,16 @@ GpuTop::GpuTop(unsigned num_cores, const MemorySystemConfig &mem_cfg,
                                 "core" + std::to_string(i));
     }
     mem_.regStats(stats_, "mem");
+}
+
+void
+GpuTop::setTraceSink(TraceSink *sink)
+{
+    if (sink != nullptr)
+        sink->bindClock(&eq_);
+    mem_.setTraceSink(sink);
+    for (auto &core : cores_)
+        core->setTraceSink(sink);
 }
 
 void
@@ -106,6 +117,11 @@ GpuTop::run(Cycle max_cycles)
     // must still match its reference walk.
     for (auto &core : cores_)
         core->mmu().checkEndOfKernel();
+
+    // Fold the per-warp stall ledgers into their stalls.* histograms
+    // before anyone dumps the registry.
+    for (auto &core : cores_)
+        core->finalizeRun();
 
     RunStats out;
     out.cycles = cycle;

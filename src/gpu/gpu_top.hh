@@ -109,6 +109,14 @@ class GpuTop
            std::uint64_t phys_frames = 16ULL << 20);
 
     /**
+     * Arm event tracing (observation-only): binds the sink to this
+     * run's clock and distributes it to every core's TLB, walkers,
+     * L1, memory stage and the shared memory system. Call before
+     * run(); pass nullptr to detach.
+     */
+    void setTraceSink(TraceSink *sink);
+
+    /**
      * Run the kernel grid to completion.
      * @param max_cycles deadlock guard; fatal when exceeded.
      */

@@ -4,6 +4,7 @@
 
 #include "mem/request.hh"
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace gpummu {
 
@@ -11,6 +12,21 @@ MemoryStage::MemoryStage(Mmu &mmu, L1Cache &l1, EventQueue &eq)
     : mmu_(mmu), l1_(l1), eq_(eq), pageDivergence_(1, 33),
       linesPerInstr_(1, 33)
 {
+}
+
+void
+MemoryStage::noteOutcome(const AccessOutcome &out, bool is_store)
+{
+    // Stores retire into the write-through path without the warp
+    // waiting, so they never dominate the instruction's stall cause.
+    if (is_store)
+        return;
+    StallReason r = StallReason::Interconnect;
+    if (out.dram)
+        r = StallReason::Dram;
+    else if (!out.hit)
+        r = StallReason::L1Miss; // includes merges into in-flight fills
+    lastIssueReason_ = dominantStall(lastIssueReason_, r);
 }
 
 Cycle
@@ -24,6 +40,7 @@ MemoryStage::accessLine(PhysAddr pline, bool is_store, Cycle at,
         at = out.readyAt;
         out = l1_.access(pline, is_store, at, warp_id);
     }
+    noteOutcome(out, is_store);
     if (!is_store && !out.hit && sched_)
         sched_->onL1Miss(warp_id, pline, tlb_missed_instr);
     return out.readyAt;
@@ -39,6 +56,12 @@ MemoryStage::issue(int warp_id, bool is_store,
     const unsigned page_shift =
         mmu_.config().enabled ? mmu_.pageShift() : kPageShift4K;
     CoalescedAccess acc = coalesce(lane_addrs, kLineShift, page_shift);
+
+    lastIssueReason_ = StallReason::Interconnect;
+    if (trace_)
+        trace_->instantAt(TraceCat::Coalescer, "coalesce", traceTid_,
+                          now, "lines", acc.totalLines, "pages",
+                          acc.pages.size());
 
     if (iommu_ != nullptr)
         return issueIommu(warp_id, is_store, acc, now,
@@ -109,8 +132,11 @@ MemoryStage::issue(int warp_id, bool is_store,
         }
     }
     const bool tlb_missed_instr = !miss_vpns.empty();
-    if (tlb_missed_instr)
+    if (tlb_missed_instr) {
         instrsWithTlbMiss_.inc();
+        // A page-walk wait dominates any cache behaviour underneath.
+        lastIssueReason_ = StallReason::TlbMiss;
+    }
 
     // --- All hits: straight to the L1. ---
     if (miss_vpns.empty()) {
@@ -277,6 +303,7 @@ MemoryStage::issueIommu(int warp_id, bool is_store,
                 out = l1_.access(vline, is_store, out.readyAt,
                                  warp_id);
             }
+            noteOutcome(out, is_store);
             if (!is_store) {
                 pending->ready =
                     std::max(pending->ready, out.readyAt);
@@ -295,6 +322,10 @@ MemoryStage::issueIommu(int warp_id, bool is_store,
         pending->complete(pending->ready);
         return MemIssueResult::Issued;
     }
+
+    // The IOMMU translates on the miss path, so the translation wait
+    // dominates whatever the cache did.
+    lastIssueReason_ = StallReason::TlbMiss;
 
     // After-L1-miss translation at the controller: the miss response
     // cannot return before the IOMMU produced a physical address

@@ -33,8 +33,11 @@
 #include "sched/warp_scheduler.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
+#include "trace/stall_accounting.hh"
 
 namespace gpummu {
+
+class TraceSink;
 
 enum class MemIssueResult
 {
@@ -88,6 +91,21 @@ class MemoryStage
 
     void regStats(StatRegistry &reg, const std::string &prefix);
 
+    /** Attach an event trace sink; @p tid labels this core. */
+    void
+    setTraceSink(TraceSink *sink, int tid)
+    {
+        trace_ = sink;
+        traceTid_ = tid;
+    }
+
+    /**
+     * Dominant stall cause of the most recently issued instruction
+     * (valid right after issue() returns Issued). The core snapshots
+     * it to attribute the warp's subsequent wait cycles.
+     */
+    StallReason lastIssueReason() const { return lastIssueReason_; }
+
     const Histogram &pageDivergence() const { return pageDivergence_; }
     std::uint64_t memInstructions() const { return memInstrs_.value(); }
     std::uint64_t tlbBusyBounces() const { return tlbBounces_.value(); }
@@ -102,12 +120,18 @@ class MemoryStage
                               const CoalescedAccess &acc, Cycle now,
                               CompleteFn complete);
 
+    /** Fold one access outcome into the instruction's stall cause. */
+    void noteOutcome(const AccessOutcome &out, bool is_store);
+
     Mmu &mmu_;
     L1Cache &l1_;
     EventQueue &eq_;
     WarpScheduler *sched_ = nullptr;
     Iommu *iommu_ = nullptr;
     TlbHitHistoryFn onTlbHitHistory_;
+    TraceSink *trace_ = nullptr;
+    int traceTid_ = 0;
+    StallReason lastIssueReason_ = StallReason::None;
 
     Counter memInstrs_;
     Counter tlbBounces_;

@@ -13,12 +13,14 @@
 
 #include "sim/stats.hh"
 #include "sim/types.hh"
+#include "trace/stall_accounting.hh"
 
 namespace gpummu {
 
 class Mmu;
 class L1Cache;
 class MemoryStage;
+class TraceSink;
 
 class ShaderCore
 {
@@ -34,6 +36,21 @@ class ShaderCore
     virtual Mmu &mmu() = 0;
     virtual L1Cache &l1() = 0;
     virtual MemoryStage &memStage() = 0;
+
+    /** Attach an event trace sink to this core's components. */
+    virtual void setTraceSink(TraceSink *sink) { (void)sink; }
+
+    /** End-of-run bookkeeping before stats are dumped (folds the
+     *  per-warp stall ledger into its histograms). */
+    virtual void finalizeRun() { stallAccounting().finalize(); }
+
+    /** Per-warp attributed stall-cycle ledger. */
+    virtual WarpStallAccounting &stallAccounting() = 0;
+    const WarpStallAccounting &
+    stallAccounting() const
+    {
+        return const_cast<ShaderCore *>(this)->stallAccounting();
+    }
 
     virtual std::uint64_t instructionsIssued() const = 0;
     virtual std::uint64_t idleCycles() const = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.hh"
+
 namespace gpummu {
 
 SimtCore::SimtCore(int core_id, const CoreConfig &cfg,
@@ -35,6 +37,14 @@ SimtCore::setScheduler(std::unique_ptr<WarpScheduler> sched)
         if (sched_)
             sched_->onTlbEviction(vpn, warp);
     });
+}
+
+void
+SimtCore::setTraceSink(TraceSink *sink)
+{
+    l1_.setTraceSink(sink, coreId_);
+    mmu_.setTraceSink(sink, coreId_);
+    memStage_.setTraceSink(sink, coreId_);
 }
 
 unsigned
@@ -194,6 +204,8 @@ SimtCore::issueWarp(int wid, Cycle now)
     const Instruction *in = nextInstr(w);
     GPUMMU_ASSERT(in != nullptr);
     noteBlockEntry(w);
+    // ALU latency and branch pipelining are execution, not stalls.
+    w.stallReason = StallReason::None;
 
     auto &top = w.stack.top();
     switch (in->op) {
@@ -243,6 +255,7 @@ SimtCore::issueWarp(int wid, Cycle now)
             // Swapped out: retry this instruction after the MMU
             // drains. The PC was not advanced.
             w.state = WarpState::WaitingTlbDrain;
+            w.stallReason = StallReason::WalkerStructural;
             mmu_.onDrain([this, wid]() {
                 Warp &ww = warps_[static_cast<std::size_t>(wid)];
                 if (ww.state == WarpState::WaitingTlbDrain) {
@@ -255,6 +268,10 @@ SimtCore::issueWarp(int wid, Cycle now)
         instrs_.inc();
         w.hasPendingAddrs = false;
         ++w.stack.top().instIdx;
+        // Whether the completion already fired (all-hit, readyAt in
+        // the future) or is pending (miss path, WaitingMem), the wait
+        // ahead is charged to the instruction's dominant cause.
+        w.stallReason = memStage_.lastIssueReason();
         return true;
       }
     }
@@ -271,32 +288,53 @@ SimtCore::tick(Cycle now)
     const bool mem_available = mmu_.memAvailable();
 
     // Collect issueable warps. Memory warps are filtered by the
-    // blocking policy and the scheduler's throttle.
+    // blocking policy and the scheduler's throttle. Every resident
+    // warp that cannot issue this cycle has the cycle charged to at
+    // most one stall cause (ALU latency and the scheduler's own
+    // throttle stay unattributed, which keeps per-warp totals below
+    // the run's cycle count).
     std::vector<int> issuable;
     issuable.reserve(warps_.size());
     bool any_ready_mem_blocked = false;
     for (std::size_t wid = 0; wid < warps_.size(); ++wid) {
         Warp &w = warps_[wid];
-        if (!w.valid || w.state != WarpState::Ready || w.readyAt > now)
+        if (!w.valid)
             continue;
+        const int iw = static_cast<int>(wid);
+        if (w.state == WarpState::WaitingMem) {
+            stalls_.attribute(iw, w.stallReason);
+            continue;
+        }
+        if (w.state == WarpState::WaitingTlbDrain) {
+            stalls_.attribute(iw, StallReason::WalkerStructural);
+            continue;
+        }
+        if (w.state != WarpState::Ready)
+            continue;
+        if (w.readyAt > now) {
+            stalls_.attribute(iw, w.stallReason);
+            continue;
+        }
         const Instruction *in = nextInstr(w);
         if (in == nullptr) {
-            retireWarp(static_cast<int>(wid), w);
+            retireWarp(iw, w);
             continue;
         }
         const bool is_mem =
             in->op == Opcode::Load || in->op == Opcode::Store;
         if (is_mem) {
             if (!mem_available) {
+                // The blocking TLB's gate: walks are outstanding.
                 any_ready_mem_blocked = true;
+                stalls_.attribute(iw, StallReason::TlbMiss);
                 continue;
             }
-            if (!sched_->mayIssueMem(static_cast<int>(wid))) {
+            if (!sched_->mayIssueMem(iw)) {
                 any_ready_mem_blocked = true;
                 continue;
             }
         }
-        issuable.push_back(static_cast<int>(wid));
+        issuable.push_back(iw);
     }
 
     unsigned issued = 0;
@@ -348,6 +386,7 @@ SimtCore::regStats(StatRegistry &reg, const std::string &prefix)
     reg.addCounter(prefix + ".tlb_idle_cycles", &tlbIdleCycles_);
     reg.addCounter(prefix + ".blocks_completed", &blocksCompleted_);
     reg.addCounter(prefix + ".mem_blocked_cycles", &memBlockedCycles_);
+    stalls_.regStats(reg, prefix);
 }
 
 } // namespace gpummu

@@ -95,6 +95,9 @@ class SimtCore : public ShaderCore
     L1Cache &l1() override { return l1_; }
     MemoryStage &memStage() override { return memStage_; }
 
+    void setTraceSink(TraceSink *sink) override;
+    WarpStallAccounting &stallAccounting() override { return stalls_; }
+
     void regStats(StatRegistry &reg,
                   const std::string &prefix) override;
 
@@ -137,6 +140,8 @@ class SimtCore : public ShaderCore
          */
         std::vector<VirtAddr> pendingAddrs;
         bool hasPendingAddrs = false;
+        /** Cause the warp's current wait is attributed to. */
+        StallReason stallReason = StallReason::None;
     };
 
     struct ResidentBlock
@@ -183,6 +188,7 @@ class SimtCore : public ShaderCore
     std::vector<Warp> warps_;
     std::vector<ResidentBlock> blocks_;
     unsigned liveWarps_ = 0;
+    WarpStallAccounting stalls_;
 
     Counter instrs_;
     Counter aluInstrs_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.hh"
+
 namespace gpummu {
 
 L1Cache::L1Cache(const L1CacheConfig &cfg, MemorySystem &mem)
@@ -64,6 +66,10 @@ L1Cache::access(PhysAddr line_addr, bool is_write, Cycle now, int warp_id)
             return out;
         }
         hits_.inc();
+        if (trace_)
+            trace_->instantAt(TraceCat::L1, "l1_hit", traceTid_, now,
+                              "line", line_addr, "warp",
+                              static_cast<std::uint64_t>(warp_id));
         out.hit = true;
         out.readyAt = now + cfg_.hitLatency;
         return out;
@@ -95,6 +101,10 @@ L1Cache::access(PhysAddr line_addr, bool is_write, Cycle now, int warp_id)
     }
 
     accesses_.inc();
+    if (trace_)
+        trace_->instantAt(TraceCat::L1, "l1_miss", traceTid_, now,
+                          "line", line_addr, "warp",
+                          static_cast<std::uint64_t>(warp_id));
     auto shared = mem_.access(line_addr, false, now + cfg_.hitLatency,
                               AccessSource::Data);
     mshrs_.emplace(line_addr, shared.readyAt);
@@ -110,6 +120,7 @@ L1Cache::access(PhysAddr line_addr, bool is_write, Cycle now, int warp_id)
     }
 
     out.hit = false;
+    out.dram = shared.dram;
     out.readyAt = shared.readyAt;
     return out;
 }

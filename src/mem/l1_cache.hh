@@ -61,6 +61,13 @@ class L1Cache
         onEvict_ = std::move(fn);
     }
 
+    /** Attach an event trace sink; @p tid labels this instance. */
+    void setTraceSink(TraceSink *sink, int tid)
+    {
+        trace_ = sink;
+        traceTid_ = tid;
+    }
+
     void flush();
 
     void regStats(StatRegistry &reg, const std::string &prefix);
@@ -93,6 +100,8 @@ class L1Cache
     /** Outstanding line fills: line address -> fill-complete cycle. */
     std::unordered_map<PhysAddr, Cycle> mshrs_;
     EvictionListener onEvict_;
+    TraceSink *trace_ = nullptr;
+    int traceTid_ = 0;
 
     Counter accesses_;
     Counter hits_;

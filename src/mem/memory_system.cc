@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.hh"
+
 namespace gpummu {
 
 MemorySystem::MemorySystem(const MemorySystemConfig &cfg) : cfg_(cfg)
@@ -12,21 +14,24 @@ MemorySystem::MemorySystem(const MemorySystemConfig &cfg) : cfg_(cfg)
         partitions_.emplace_back(cfg);
 }
 
-MemorySystem::Partition &
-MemorySystem::partitionFor(PhysAddr line_addr)
+std::size_t
+MemorySystem::partitionIndex(PhysAddr line_addr) const
 {
     // Mix the address so power-of-two strides spread across channels.
     const std::uint64_t mixed = line_addr ^ (line_addr >> 7);
-    return partitions_[mixed % partitions_.size()];
+    return mixed % partitions_.size();
 }
 
 AccessOutcome
 MemorySystem::access(PhysAddr line_addr, bool is_write, Cycle now,
                      AccessSource source)
 {
-    Partition &part = partitionFor(line_addr);
+    const std::size_t part_idx = partitionIndex(line_addr);
+    Partition &part = partitions_[part_idx];
     const bool walk_lane =
         cfg_.prioritizeWalks && source == AccessSource::PageWalk;
+    const int tid = static_cast<int>(part_idx);
+    const bool is_walk = source == AccessSource::PageWalk;
 
     // Request crosses the interconnect, then queues at the L2 slice.
     // Prioritized page walks arbitrate on their own lane.
@@ -54,10 +59,17 @@ MemorySystem::access(PhysAddr line_addr, bool is_write, Cycle now,
         l2Hits_.inc();
         if (source == AccessSource::PageWalk)
             walkL2Hits_.inc();
+        if (trace_)
+            trace_->instantAt(TraceCat::L2, "l2_hit", tid, l2_start,
+                              "line", line_addr, "walk", is_walk);
         out.hit = true;
         out.readyAt = l2_start + cfg_.l2HitLatency + cfg_.icntLatency;
         return out;
     }
+
+    if (trace_)
+        trace_->instantAt(TraceCat::L2, "l2_miss", tid, l2_start,
+                          "line", line_addr, "walk", is_walk);
 
     if (is_write) {
         // Coalesced GPU stores write whole lines: the L2 allocates
@@ -85,10 +97,15 @@ MemorySystem::access(PhysAddr line_addr, bool is_write, Cycle now,
         part.dramBusyUntil = dram_start + cfg_.dramServiceInterval;
     }
     dramAccesses_.inc();
+    if (trace_)
+        trace_->span(TraceCat::Dram, "dram_busy", tid, dram_start,
+                     cfg_.dramServiceInterval, "line", line_addr,
+                     "walk", is_walk);
 
     part.l2.insert(line_addr, 0);
 
     out.hit = false;
+    out.dram = true;
     out.readyAt = dram_start + cfg_.dramLatency + cfg_.icntLatency;
     return out;
 }

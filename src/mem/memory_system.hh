@@ -22,6 +22,8 @@
 
 namespace gpummu {
 
+class TraceSink;
+
 struct MemorySystemConfig
 {
     unsigned numPartitions = 8;       ///< memory channels (paper: 8)
@@ -76,6 +78,9 @@ class MemorySystem
     /** Register statistics under the given prefix. */
     void regStats(StatRegistry &reg, const std::string &prefix);
 
+    /** Attach an event trace sink (observation-only; may be null). */
+    void setTraceSink(TraceSink *sink) { trace_ = sink; }
+
     // Aggregate statistics, exposed for experiment reports.
     std::uint64_t l2Accesses() const { return l2Accesses_.value(); }
     std::uint64_t l2Hits() const { return l2Hits_.value(); }
@@ -97,10 +102,11 @@ class MemorySystem
         Cycle dramBusyUntilWalk = 0;
     };
 
-    Partition &partitionFor(PhysAddr line_addr);
+    std::size_t partitionIndex(PhysAddr line_addr) const;
 
     MemorySystemConfig cfg_;
     std::vector<Partition> partitions_;
+    TraceSink *trace_ = nullptr;
 
     Counter l2Accesses_;
     Counter l2Hits_;

@@ -39,6 +39,8 @@ struct AccessOutcome
     bool mshrMerged = false;
     /** No MSHR was available; the requester must retry later. */
     bool needRetry = false;
+    /** A DRAM channel serviced the request (missed every cache). */
+    bool dram = false;
 };
 
 } // namespace gpummu

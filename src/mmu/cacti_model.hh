@@ -34,8 +34,11 @@ struct CactiModel
     {
         if (ideal || entries <= 128)
             return 0;
+        // Charge 2 cycles per (started) doubling beyond 128 entries:
+        // 129..256 -> 2, 257..512 -> 4, ... Non-power-of-two arrays
+        // pay for the power-of-two they round up to.
         Cycle penalty = 0;
-        for (std::size_t sz = 256; sz <= entries; sz *= 2)
+        for (std::size_t sz = 128; sz < entries; sz *= 2)
             penalty += 2;
         return penalty;
     }

@@ -75,6 +75,14 @@ class Iommu
     /** The armed checker, or nullptr. */
     const InvariantChecker *checker() const { return checker_.get(); }
 
+    /** Attach an event trace sink to the shared TLB and walkers. */
+    void
+    setTraceSink(TraceSink *sink, int tid)
+    {
+        tlb_.setTraceSink(sink, tid);
+        walkers_.setTraceSink(sink, tid);
+    }
+
     void regStats(StatRegistry &reg, const std::string &prefix);
 
     std::uint64_t lookups() const { return tlb_.accesses(); }

@@ -182,6 +182,15 @@ class Mmu
     /** The armed checker, or nullptr (tests assert check volumes). */
     const InvariantChecker *checker() const { return checker_.get(); }
 
+    /** Attach an event trace sink to the TLB and walker pool;
+     *  @p tid labels this core's instances. */
+    void
+    setTraceSink(TraceSink *sink, int tid)
+    {
+        tlb_.setTraceSink(sink, tid);
+        walkers_.setTraceSink(sink, tid);
+    }
+
     void regStats(StatRegistry &reg, const std::string &prefix);
 
     /** Full TLB-miss service time distribution (Fig. 4). */

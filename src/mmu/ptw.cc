@@ -6,6 +6,7 @@
 #include "check/invariant_checker.hh"
 #include "mem/request.hh"
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace gpummu {
 
@@ -27,6 +28,9 @@ PageWalkers::walkRef(PhysAddr line_addr, Cycle at)
     const Cycle issue = std::max(at, portFreeAt_);
     portFreeAt_ = issue + cfg_.portInterval;
     refsIssued_.inc();
+    if (trace_)
+        trace_->instantAt(TraceCat::Ptw, "walk_ref", traceTid_, issue,
+                          "line", line_addr);
     if (checker_)
         checker_->onPagingLine(line_addr, kLineShift);
     if (cfg_.pwcLines > 0 && pwc_.lookup(line_addr).hit) {
@@ -47,6 +51,9 @@ PageWalkers::requestBatch(const std::vector<Vpn> &vpns, Cycle now,
     for (Vpn vpn : vpns) {
         if (checker_)
             checker_->onWalkEnqueued(vpn);
+        if (trace_)
+            trace_->instantAt(TraceCat::Ptw, "walk_enqueue",
+                              traceTid_, now, "vpn", vpn);
         queue_.push_back(PendingWalk{vpn, now, done});
     }
     pump(now);
@@ -84,6 +91,12 @@ PageWalkers::startNaive(unsigned w, Cycle now)
     }
     batch->walks.push_back(std::move(walk));
     ++inFlight_;
+    if (trace_) {
+        trace_->instantAt(TraceCat::Ptw, "walk_grant", traceTid_, now,
+                          "vpn", batch->walks.back().vpn, "walker", w);
+        trace_->counter(TraceCat::Ptw, "walks_in_flight", traceTid_,
+                        inFlight_);
+    }
     walkerBusy_[w] = true;
     stepLevel(w, std::move(batch), now);
 }
@@ -103,6 +116,13 @@ PageWalkers::startScheduledBatch(unsigned w, Cycle now)
         paths.push_back(pt_.walk(batch->walks.back().vpn));
     }
     inFlight_ += static_cast<unsigned>(batch->walks.size());
+    if (trace_) {
+        for (const PendingWalk &walk : batch->walks)
+            trace_->instantAt(TraceCat::Ptw, "walk_grant", traceTid_,
+                              now, "vpn", walk.vpn, "walker", w);
+        trace_->counter(TraceCat::Ptw, "walks_in_flight", traceTid_,
+                        inFlight_);
+    }
 
     unsigned max_levels = 0;
     for (const auto &p : paths)
@@ -171,9 +191,17 @@ PageWalkers::stepLevel(unsigned w, std::shared_ptr<ActiveBatch> batch,
             walks_.inc();
             walkLatency_.sample(ready - walk.enqueued);
             eq_.schedule(ready, [this, vpn = walk.vpn,
-                                 done = walk.done, ready]() {
+                                 done = walk.done, ready,
+                                 enq = walk.enqueued]() {
                 GPUMMU_ASSERT(inFlight_ > 0);
                 --inFlight_;
+                if (trace_) {
+                    trace_->span(TraceCat::Ptw, "page_walk",
+                                 traceTid_, enq, ready - enq, "vpn",
+                                 vpn);
+                    trace_->counter(TraceCat::Ptw, "walks_in_flight",
+                                    traceTid_, inFlight_);
+                }
                 if (checker_)
                     checker_->onWalkCompleted(vpn);
                 done(vpn, ready);

@@ -34,6 +34,7 @@
 namespace gpummu {
 
 class InvariantChecker;
+class TraceSink;
 
 struct PtwConfig
 {
@@ -91,6 +92,14 @@ class PageWalkers
      * walk-cache entry.
      */
     void setChecker(InvariantChecker *chk) { checker_ = chk; }
+
+    /** Attach an event trace sink; @p tid labels this instance. */
+    void
+    setTraceSink(TraceSink *sink, int tid)
+    {
+        trace_ = sink;
+        traceTid_ = tid;
+    }
 
     /**
      * Kernel-end check: nothing queued or in flight, conservation
@@ -164,6 +173,8 @@ class PageWalkers
     MemorySystem &mem_;
     EventQueue &eq_;
     InvariantChecker *checker_ = nullptr;
+    TraceSink *trace_ = nullptr;
+    int traceTid_ = 0;
 
     std::deque<PendingWalk> queue_;
     std::vector<bool> walkerBusy_;

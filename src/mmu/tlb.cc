@@ -1,6 +1,7 @@
 #include "mmu/tlb.hh"
 
 #include "check/invariant_checker.hh"
+#include "trace/trace.hh"
 
 namespace gpummu {
 
@@ -18,11 +19,20 @@ Tlb::lookup(Vpn vpn, int warp_id, bool record)
         accesses_.inc();
     auto res = array_.lookup(vpn);
     LookupResult out;
-    if (!res.hit)
+    if (!res.hit) {
+        if (trace_ && record)
+            trace_->instant(TraceCat::Tlb, "tlb_miss", traceTid_,
+                            "vpn", vpn, "warp",
+                            static_cast<std::uint64_t>(warp_id));
         return out;
+    }
 
     if (record)
         hits_.inc();
+    if (trace_ && record)
+        trace_->instant(TraceCat::Tlb, "tlb_hit", traceTid_, "vpn",
+                        vpn, "warp",
+                        static_cast<std::uint64_t>(warp_id));
     out.hit = true;
     out.depth = res.depth;
     out.ppn = res.payload->ppn;
@@ -63,9 +73,17 @@ Tlb::fill(Vpn vpn, const Translation &t, int alloc_warp)
     info.ppn = t.ppn;
     info.isLarge = t.isLarge;
     info.allocWarp = alloc_warp;
+    if (trace_)
+        trace_->instant(TraceCat::Tlb, "tlb_fill", traceTid_, "vpn",
+                        vpn, "ppn", t.ppn);
     auto victim = array_.insert(vpn, info);
-    if (victim && onEvict_)
-        onEvict_(victim->tag, victim->payload.allocWarp);
+    if (victim) {
+        if (trace_)
+            trace_->instant(TraceCat::Tlb, "tlb_evict", traceTid_,
+                            "vpn", victim->tag);
+        if (onEvict_)
+            onEvict_(victim->tag, victim->payload.allocWarp);
+    }
     checkSweep();
 }
 

@@ -26,6 +26,7 @@
 namespace gpummu {
 
 class InvariantChecker;
+class TraceSink;
 
 struct TlbConfig
 {
@@ -105,6 +106,14 @@ class Tlb
     /** One reference-equality + duplicate-tag sweep (no-op unarmed). */
     void checkSweep() const;
 
+    /** Attach an event trace sink; @p tid labels this instance. */
+    void
+    setTraceSink(TraceSink *sink, int tid)
+    {
+        trace_ = sink;
+        traceTid_ = tid;
+    }
+
     const TlbConfig &config() const { return cfg_; }
 
     void regStats(StatRegistry &reg, const std::string &prefix);
@@ -123,6 +132,8 @@ class Tlb
     EvictionListener onEvict_;
     InvariantChecker *checker_ = nullptr;
     unsigned checkShift_ = kPageShift4K;
+    TraceSink *trace_ = nullptr;
+    int traceTid_ = 0;
 
     Counter accesses_;
     Counter hits_;

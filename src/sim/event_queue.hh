@@ -6,14 +6,22 @@
  * modelled with completion events. Events scheduled for the same
  * cycle fire in scheduling order (a monotonic sequence number breaks
  * ties) so simulation stays deterministic.
+ *
+ * The heap is managed directly with std::push_heap / std::pop_heap
+ * rather than std::priority_queue: priority_queue::top() returns a
+ * const reference, which forces a deep copy of the std::function
+ * callback for every fired event. pop_heap moves the top element to
+ * the back of the vector, from where the event (and its callback)
+ * can genuinely be moved out before dispatch.
  */
 
 #ifndef SIM_EVENT_QUEUE_HH
 #define SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -31,7 +39,8 @@ class EventQueue
     schedule(Cycle when, Callback cb)
     {
         GPUMMU_ASSERT(when >= now_, "scheduling into the past");
-        heap_.push(Event{when, nextSeq_++, std::move(cb)});
+        heap_.push_back(Event{when, nextSeq_++, std::move(cb)});
+        std::push_heap(heap_.begin(), heap_.end(), Event::Later{});
     }
 
     /** Current simulated cycle (last serviced time). */
@@ -44,7 +53,7 @@ class EventQueue
     Cycle
     nextEventCycle() const
     {
-        return heap_.empty() ? kCycleNever : heap_.top().when;
+        return heap_.empty() ? kCycleNever : heap_.front().when;
     }
 
     /**
@@ -55,11 +64,13 @@ class EventQueue
     runUntil(Cycle upto)
     {
         GPUMMU_ASSERT(upto >= now_);
-        while (!heap_.empty() && heap_.top().when <= upto) {
-            // Move the callback out before popping; the callback may
-            // schedule new events.
-            Event ev = heap_.top();
-            heap_.pop();
+        while (!heap_.empty() && heap_.front().when <= upto) {
+            // pop_heap rotates the earliest event to the back; move
+            // it out (callback included) before shrinking the vector,
+            // so the callback is free to schedule new events.
+            std::pop_heap(heap_.begin(), heap_.end(), Event::Later{});
+            Event ev = std::move(heap_.back());
+            heap_.pop_back();
             now_ = ev.when;
             ev.cb();
         }
@@ -70,7 +81,7 @@ class EventQueue
     void
     clear()
     {
-        heap_ = {};
+        heap_.clear();
         now_ = 0;
         nextSeq_ = 0;
     }
@@ -82,16 +93,20 @@ class EventQueue
         std::uint64_t seq;
         Callback cb;
 
-        bool
-        operator>(const Event &other) const
+        /** Max-heap comparator that puts the earliest event on top. */
+        struct Later
         {
-            if (when != other.when)
-                return when > other.when;
-            return seq > other.seq;
-        }
+            bool
+            operator()(const Event &a, const Event &b) const
+            {
+                if (a.when != b.when)
+                    return a.when > b.when;
+                return a.seq > b.seq;
+            }
+        };
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    std::vector<Event> heap_;
     Cycle now_ = 0;
     std::uint64_t nextSeq_ = 0;
 };

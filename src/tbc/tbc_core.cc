@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.hh"
+
 namespace gpummu {
 
 TbcCore::TbcCore(int core_id, const CoreConfig &cfg,
@@ -45,6 +47,14 @@ TbcCore::setScheduler(std::unique_ptr<WarpScheduler> sched)
         if (sched_)
             sched_->onTlbEviction(vpn, warp);
     });
+}
+
+void
+TbcCore::setTraceSink(TraceSink *sink)
+{
+    l1_.setTraceSink(sink, coreId_);
+    mmu_.setTraceSink(sink, coreId_);
+    memStage_.setTraceSink(sink, coreId_);
 }
 
 unsigned
@@ -204,6 +214,8 @@ TbcCore::issueWarp(int blk_slot, int warp_idx, Cycle now)
         aluInstrs_.inc();
         ++w.instIdx;
         w.readyAt = now + cfg_.aluLatency;
+        // Execution latency, not a stall.
+        w.stallReason = StallReason::None;
         return;
 
       case Opcode::Branch: {
@@ -296,6 +308,7 @@ TbcCore::issueWarp(int blk_slot, int warp_idx, Cycle now)
             GPUMMU_ASSERT(w.pendingLoads > 0);
             --w.pendingLoads;
             w.state = WarpState::WaitingTlbDrain;
+            w.stallReason = StallReason::WalkerStructural;
             mmu_.onDrain([this, blk_slot, warp_idx]() {
                 auto &blk2 =
                     blocks_[static_cast<std::size_t>(blk_slot)];
@@ -311,6 +324,10 @@ TbcCore::issueWarp(int blk_slot, int warp_idx, Cycle now)
         instrs_.inc();
         w.hasPendingAddrs = false;
         ++w.instIdx;
+        // Waits on this entry's outstanding data are charged to the
+        // worst cause among its fire-and-forget loads.
+        w.stallReason =
+            dominantStall(w.stallReason, memStage_.lastIssueReason());
         // Fire and forget: the warp keeps executing this entry and
         // synchronizes with its data at the terminator.
         w.readyAt = now + 2;
@@ -339,15 +356,37 @@ TbcCore::tick(Cycle now)
             continue;
         for (std::size_t i = 0; i < blk.warps.size(); ++i) {
             DynWarp &w = blk.warps[i];
-            if (w.done || w.state != WarpState::Ready ||
-                w.readyAt > now)
+            const int slot = warpSlotId(b, i);
+            if (w.done) {
+                // Finished its path; waiting for block mates at the
+                // block-wide reconvergence barrier.
+                stalls_.attribute(slot, StallReason::Reconvergence);
                 continue;
+            }
+            if (w.state == WarpState::WaitingMem) {
+                stalls_.attribute(slot, w.stallReason);
+                continue;
+            }
+            if (w.state == WarpState::WaitingTlbDrain) {
+                stalls_.attribute(slot,
+                                  StallReason::WalkerStructural);
+                continue;
+            }
+            if (w.state != WarpState::Ready)
+                continue;
+            if (w.readyAt > now) {
+                stalls_.attribute(slot, w.stallReason);
+                continue;
+            }
             const Instruction *in = currentInstr(blk, w);
             const bool is_mem = in->op == Opcode::Load ||
                                 in->op == Opcode::Store;
             if (is_mem) {
-                if (!mem_available)
+                if (!mem_available) {
+                    // The blocking TLB's gate: walks outstanding.
+                    stalls_.attribute(slot, StallReason::TlbMiss);
                     continue;
+                }
                 if (!sched_->mayIssueMem(w.originRep))
                     continue;
             }
@@ -410,6 +449,7 @@ TbcCore::regStats(StatRegistry &reg, const std::string &prefix)
     reg.addCounter(prefix + ".compactions", &compactions_);
     reg.addCounter(prefix + ".dynamic_warps", &dynWarps_);
     reg.addHistogram(prefix + ".warp_occupancy", &warpOccupancy_);
+    stalls_.regStats(reg, prefix);
 }
 
 } // namespace gpummu

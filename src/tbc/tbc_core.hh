@@ -59,6 +59,9 @@ class TbcCore : public ShaderCore
     L1Cache &l1() override { return l1_; }
     MemoryStage &memStage() override { return memStage_; }
 
+    void setTraceSink(TraceSink *sink) override;
+    WarpStallAccounting &stallAccounting() override { return stalls_; }
+
     std::uint64_t instructionsIssued() const override
     {
         return instrs_.value();
@@ -98,6 +101,8 @@ class TbcCore : public ShaderCore
         unsigned pendingLoads = 0;
         Cycle loadsReadyAt = 0;
         bool waitingAtTerminator = false;
+        /** Cause the warp's current wait is attributed to. */
+        StallReason stallReason = StallReason::None;
     };
 
     struct TbcBlock
@@ -132,6 +137,14 @@ class TbcCore : public ShaderCore
     const Instruction *currentInstr(const TbcBlock &blk,
                                     const DynWarp &w) const;
 
+    /** Stable stall-ledger slot for dynamic warp i of block slot b
+     *  (compaction can form up to threadsPerBlock dynamic warps). */
+    int
+    warpSlotId(std::size_t b, std::size_t i) const
+    {
+        return static_cast<int>(b * launch_.threadsPerBlock + i);
+    }
+
     int coreId_;
     CoreConfig cfg_;
     TbcConfig tbcCfg_;
@@ -146,6 +159,7 @@ class TbcCore : public ShaderCore
 
     std::vector<TbcBlock> blocks_;
     unsigned liveBlocks_ = 0;
+    WarpStallAccounting stalls_;
 
     Counter instrs_;
     Counter aluInstrs_;

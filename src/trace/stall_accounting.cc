@@ -1,0 +1,75 @@
+#include "trace/stall_accounting.hh"
+
+#include "sim/logging.hh"
+
+namespace gpummu {
+
+const char *
+stallReasonName(StallReason r)
+{
+    switch (r) {
+      case StallReason::None:
+        return "none";
+      case StallReason::Reconvergence:
+        return "reconvergence";
+      case StallReason::Interconnect:
+        return "interconnect";
+      case StallReason::L1Miss:
+        return "l1_miss";
+      case StallReason::Dram:
+        return "dram";
+      case StallReason::WalkerStructural:
+        return "walker_structural";
+      case StallReason::TlbMiss:
+        return "tlb_miss";
+    }
+    GPUMMU_PANIC("unknown stall reason");
+}
+
+std::uint64_t
+WarpStallAccounting::warpTotal(int warp) const
+{
+    if (warp < 0 || static_cast<std::size_t>(warp) >= cells_.size())
+        return 0;
+    std::uint64_t total = 0;
+    for (std::uint64_t c : cells_[static_cast<std::size_t>(warp)])
+        total += c;
+    return total;
+}
+
+std::uint64_t
+WarpStallAccounting::reasonTotal(StallReason reason) const
+{
+    const auto r = static_cast<std::size_t>(reason);
+    std::uint64_t total = 0;
+    for (const Cell &cell : cells_)
+        total += cell[r];
+    return total;
+}
+
+void
+WarpStallAccounting::finalize()
+{
+    if (finalized_)
+        return;
+    finalized_ = true;
+    for (std::size_t r = 1; r < kNumStallReasons; ++r) {
+        for (const Cell &cell : cells_) {
+            if (cell[r] != 0)
+                hists_[r].sample(cell[r]);
+        }
+    }
+}
+
+void
+WarpStallAccounting::regStats(StatRegistry &reg,
+                              const std::string &prefix)
+{
+    for (std::size_t r = 1; r < kNumStallReasons; ++r) {
+        reg.addHistogram(prefix + ".stalls." +
+                             stallReasonName(static_cast<StallReason>(r)),
+                         &hists_[r]);
+    }
+}
+
+} // namespace gpummu

@@ -1,0 +1,208 @@
+#include "trace/trace.hh"
+
+#include <fstream>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace gpummu {
+
+const char *
+traceCatName(TraceCat cat)
+{
+    switch (cat) {
+      case TraceCat::Tlb:
+        return "tlb";
+      case TraceCat::Ptw:
+        return "ptw";
+      case TraceCat::Coalescer:
+        return "coalescer";
+      case TraceCat::L1:
+        return "l1";
+      case TraceCat::L2:
+        return "l2";
+      case TraceCat::Dram:
+        return "dram";
+      case TraceCat::Core:
+        return "core";
+    }
+    GPUMMU_PANIC("unknown trace category");
+}
+
+TraceSink::TraceSink(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      catMask_((1u << kNumTraceCats) - 1)
+{
+    ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void
+TraceSink::setFilter(const std::string &prefix)
+{
+    if (prefix.empty()) {
+        catMask_ = (1u << kNumTraceCats) - 1;
+        return;
+    }
+    catMask_ = 0;
+    for (std::size_t c = 0; c < kNumTraceCats; ++c) {
+        const std::string name =
+            traceCatName(static_cast<TraceCat>(c));
+        if (name.rfind(prefix, 0) == 0)
+            catMask_ |= 1u << c;
+    }
+}
+
+Cycle
+TraceSink::nowFromClock() const
+{
+    return clock_ != nullptr ? clock_->now() : 0;
+}
+
+void
+TraceSink::push(const Event &ev)
+{
+    if (!wants(ev.cat))
+        return;
+    if (ring_.size() < capacity_) {
+        ring_.push_back(ev);
+        return;
+    }
+    // Full: overwrite the oldest event (the ring keeps the tail of
+    // the run, which is usually what a stall investigation wants).
+    ring_[next_] = ev;
+    next_ = (next_ + 1) % capacity_;
+    wrapped_ = true;
+    ++dropped_;
+}
+
+void
+TraceSink::instant(TraceCat cat, const char *name, int tid,
+                   const char *key0, std::uint64_t arg0,
+                   const char *key1, std::uint64_t arg1)
+{
+    instantAt(cat, name, tid, nowFromClock(), key0, arg0, key1, arg1);
+}
+
+void
+TraceSink::instantAt(TraceCat cat, const char *name, int tid, Cycle ts,
+                     const char *key0, std::uint64_t arg0,
+                     const char *key1, std::uint64_t arg1)
+{
+    Event ev;
+    ev.ts = ts;
+    ev.cat = cat;
+    ev.name = name;
+    ev.tid = tid;
+    ev.key0 = key0;
+    ev.arg0 = arg0;
+    ev.key1 = key1;
+    ev.arg1 = arg1;
+    ev.phase = 'i';
+    push(ev);
+}
+
+void
+TraceSink::span(TraceCat cat, const char *name, int tid, Cycle start,
+                Cycle dur, const char *key0, std::uint64_t arg0,
+                const char *key1, std::uint64_t arg1)
+{
+    Event ev;
+    ev.ts = start;
+    ev.dur = dur;
+    ev.cat = cat;
+    ev.name = name;
+    ev.tid = tid;
+    ev.key0 = key0;
+    ev.arg0 = arg0;
+    ev.key1 = key1;
+    ev.arg1 = arg1;
+    ev.phase = 'X';
+    push(ev);
+}
+
+void
+TraceSink::counter(TraceCat cat, const char *name, int tid,
+                   std::uint64_t value)
+{
+    Event ev;
+    ev.ts = nowFromClock();
+    ev.cat = cat;
+    ev.name = name;
+    ev.tid = tid;
+    ev.value = value;
+    ev.phase = 'C';
+    push(ev);
+}
+
+std::size_t
+TraceSink::size() const
+{
+    return ring_.size();
+}
+
+void
+TraceSink::writeChromeTrace(std::ostream &os) const
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    auto emit_meta = [&](std::size_t pid) {
+        os << (first ? "" : ",") << "{\"name\":\"process_name\","
+           << "\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":0,"
+           << "\"args\":{\"name\":\""
+           << traceCatName(static_cast<TraceCat>(pid)) << "\"}}";
+        first = false;
+    };
+    std::uint32_t seen = 0;
+    auto emit = [&](const Event &ev) {
+        const auto pid = static_cast<std::size_t>(ev.cat);
+        if (!(seen & (1u << pid))) {
+            seen |= 1u << pid;
+            emit_meta(pid);
+        }
+        os << (first ? "" : ",") << "{\"name\":\""
+           << jsonEscape(ev.name) << "\",\"cat\":\""
+           << traceCatName(ev.cat) << "\",\"ph\":\"" << ev.phase
+           << "\",\"pid\":" << pid << ",\"tid\":" << ev.tid
+           << ",\"ts\":" << ev.ts;
+        if (ev.phase == 'X')
+            os << ",\"dur\":" << ev.dur;
+        if (ev.phase == 'i')
+            os << ",\"s\":\"t\"";
+        if (ev.phase == 'C') {
+            os << ",\"args\":{\"value\":" << ev.value << "}";
+        } else if (ev.key0 != nullptr) {
+            os << ",\"args\":{\"" << jsonEscape(ev.key0)
+               << "\":" << ev.arg0;
+            if (ev.key1 != nullptr)
+                os << ",\"" << jsonEscape(ev.key1) << "\":" << ev.arg1;
+            os << "}";
+        }
+        os << "}";
+        first = false;
+    };
+    // Chronological order: the oldest surviving event first.
+    if (wrapped_) {
+        for (std::size_t i = next_; i < ring_.size(); ++i)
+            emit(ring_[i]);
+        for (std::size_t i = 0; i < next_; ++i)
+            emit(ring_[i]);
+    } else {
+        for (const Event &ev : ring_)
+            emit(ev);
+    }
+    os << "],\"displayTimeUnit\":\"ns\",\"otherData\":{"
+       << "\"dropped_events\":" << dropped_ << "}}";
+}
+
+bool
+TraceSink::writeChromeTraceFile(const std::string &path) const
+{
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f)
+        return false;
+    writeChromeTrace(f);
+    return f.good();
+}
+
+} // namespace gpummu

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Low-overhead cycle-level event tracing.
+ *
+ * A TraceSink is a per-run ring buffer of typed trace events recorded
+ * by the components a run is built from: TLB lookups/fills/evictions,
+ * the full page-walk lifecycle (enqueue, walker grant, per-level
+ * reference, retire, walker occupancy), coalescer splits, L1/L2
+ * hits/misses and DRAM channel busy spans. The buffer exports Chrome
+ * trace-event JSON (load the file in chrome://tracing or Perfetto).
+ *
+ * Tracing is strictly observation-only. Components hold a
+ * `TraceSink *` that defaults to nullptr; every hook is guarded by
+ * that one pointer test, so a disabled run costs a predictable
+ * never-taken branch and armed/unarmed runs are bit-identical (the
+ * determinism and golden tests enforce this).
+ *
+ * The sink is single-threaded by design, like the simulator itself:
+ * one TraceSink belongs to exactly one run. Parallel sweeps that want
+ * traces run one traced point after the sweep.
+ */
+
+#ifndef TRACE_TRACE_HH
+#define TRACE_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace gpummu {
+
+class EventQueue;
+
+/** Component category of a trace event; also the filter unit. */
+enum class TraceCat : std::uint8_t
+{
+    Tlb,       ///< per-core TLB lookups, fills, evictions
+    Ptw,       ///< page-walk lifecycle and walker occupancy
+    Coalescer, ///< per-instruction line/page split counts
+    L1,        ///< per-core L1 hits and misses
+    L2,        ///< shared L2 slice hits and misses
+    Dram,      ///< DRAM channel busy spans
+    Core,      ///< shader-core level events
+};
+inline constexpr std::size_t kNumTraceCats = 7;
+
+/** Stable lower-case name of a category ("tlb", "ptw", ...). */
+const char *traceCatName(TraceCat cat);
+
+/**
+ * Ring-buffered event sink. Fixed capacity; once full, the oldest
+ * events are overwritten (a drop counter reports how many), so a
+ * trace always holds the *last* N events of the run.
+ */
+class TraceSink
+{
+  public:
+    /** One recorded event. Names must be string literals (the sink
+     *  stores the pointers, not copies). */
+    struct Event
+    {
+        Cycle ts = 0;
+        Cycle dur = 0; ///< 0 for instants and counters
+        std::uint64_t value = 0;
+        const char *name = nullptr;
+        const char *key0 = nullptr; ///< optional arg name, or null
+        const char *key1 = nullptr;
+        std::uint64_t arg0 = 0;
+        std::uint64_t arg1 = 0;
+        std::int32_t tid = 0;
+        TraceCat cat = TraceCat::Core;
+        char phase = 'i'; ///< 'i' instant, 'X' span, 'C' counter
+    };
+
+    explicit TraceSink(std::size_t capacity = 1u << 20);
+
+    /**
+     * Bind the simulation clock used for instants recorded without an
+     * explicit cycle. GpuTop binds its own event queue when a sink is
+     * attached to a run.
+     */
+    void bindClock(const EventQueue *eq) { clock_ = eq; }
+
+    /**
+     * Restrict recording to categories whose name starts with
+     * @p prefix (e.g. "tlb", "ptw", "l"). Empty keeps everything.
+     */
+    void setFilter(const std::string &prefix);
+
+    bool wants(TraceCat cat) const
+    {
+        return catMask_ & (1u << static_cast<unsigned>(cat));
+    }
+
+    /** A point event at the bound clock's current cycle. */
+    void instant(TraceCat cat, const char *name, int tid,
+                 const char *key0 = nullptr, std::uint64_t arg0 = 0,
+                 const char *key1 = nullptr, std::uint64_t arg1 = 0);
+
+    /** A point event at an explicit cycle. */
+    void instantAt(TraceCat cat, const char *name, int tid, Cycle ts,
+                   const char *key0 = nullptr, std::uint64_t arg0 = 0,
+                   const char *key1 = nullptr, std::uint64_t arg1 = 0);
+
+    /** A completed span [start, start+dur). */
+    void span(TraceCat cat, const char *name, int tid, Cycle start,
+              Cycle dur, const char *key0 = nullptr,
+              std::uint64_t arg0 = 0, const char *key1 = nullptr,
+              std::uint64_t arg1 = 0);
+
+    /** A counter track sample (e.g. walker occupancy). */
+    void counter(TraceCat cat, const char *name, int tid,
+                 std::uint64_t value);
+
+    /** Events currently resident in the ring. */
+    std::size_t size() const;
+    /** Events overwritten because the ring was full. */
+    std::uint64_t dropped() const { return dropped_; }
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Export as Chrome trace-event JSON:
+     * {"traceEvents":[...],"displayTimeUnit":"ns"}. Timestamps are
+     * simulated cycles. Events are grouped per category (pid) and
+     * per component instance (tid), with metadata naming both.
+     */
+    void writeChromeTrace(std::ostream &os) const;
+
+    /** writeChromeTrace to @p path; false on I/O failure. */
+    bool writeChromeTraceFile(const std::string &path) const;
+
+  private:
+    void push(const Event &ev);
+    Cycle nowFromClock() const;
+
+    std::size_t capacity_;
+    std::vector<Event> ring_;
+    std::size_t next_ = 0; ///< ring write cursor once wrapped
+    bool wrapped_ = false;
+    std::uint64_t dropped_ = 0;
+    std::uint32_t catMask_;
+    const EventQueue *clock_ = nullptr;
+};
+
+} // namespace gpummu
+
+#endif // TRACE_TRACE_HH

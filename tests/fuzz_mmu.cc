@@ -19,7 +19,10 @@
  *     at a random design point with SystemConfig::checkInvariants on.
  *
  * Any violation panics; the SIGABRT hook prints the reproducing
- * (seed, config) tuple first, so a CI failure is replayed with:
+ * (seed, config) tuple first, and the per-seed driver catches any
+ * C++ exception that escapes a phase (std::bad_alloc, stoull range
+ * errors, library throws) and prints the same tuple before rethrowing,
+ * so a CI failure is always replayed with:
  *     ./build/tests/fuzz_mmu --start-seed=<seed> --seeds=1
  *
  * Run from ctest as a small tier-2 smoke (see tests/CMakeLists.txt);
@@ -426,11 +429,25 @@ main(int argc, char **argv)
     std::signal(SIGABRT, abortHandler);
 
     for (std::uint64_t s = start_seed; s < start_seed + seeds; ++s) {
-        Rng rng(splitMix64(s));
-        fuzzFunctional(s, rng);
-        if (!functional_only) {
-            fuzzMmuDirect(s, rng);
-            fuzzFullStack(s, rng);
+        // The SIGABRT hook only fires for abort(); exceptions that
+        // escape a phase (bad_alloc, library throws) would otherwise
+        // terminate without naming the seed. Print the same repro
+        // tuple here and rethrow so the exit status still reflects
+        // the failure.
+        try {
+            Rng rng(splitMix64(s));
+            fuzzFunctional(s, rng);
+            if (!functional_only) {
+                fuzzMmuDirect(s, rng);
+                fuzzFullStack(s, rng);
+            }
+        } catch (const std::exception &e) {
+            std::cerr << g_ctx
+                      << "  escaped exception: " << e.what() << "\n";
+            throw;
+        } catch (...) {
+            std::cerr << g_ctx << "  escaped non-std exception\n";
+            throw;
         }
         if ((s - start_seed + 1) % 25 == 0 ||
             s + 1 == start_seed + seeds) {

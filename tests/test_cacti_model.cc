@@ -24,6 +24,44 @@ TEST(CactiModel, PenaltyGrowsPerDoubling)
     EXPECT_GT(m.sizePenalty(1024), m.sizePenalty(512));
 }
 
+// Regression for the size-penalty gap: the old loop only charged for
+// full doublings reached, so every size in (128, 256) - e.g. a
+// 192-entry CAM - was billed 0 cycles, the same as a 128-entry array
+// that fits under L1 set selection. A non-power-of-two array must pay
+// for the power-of-two it rounds up to.
+TEST(CactiModel, NonPowerOfTwoSizesPayForTheNextDoubling)
+{
+    CactiModel m;
+    EXPECT_EQ(m.sizePenalty(128), 0u);
+    EXPECT_EQ(m.sizePenalty(129), 2u);
+    EXPECT_EQ(m.sizePenalty(192), 2u);
+    EXPECT_EQ(m.sizePenalty(255), 2u);
+    EXPECT_EQ(m.sizePenalty(256), 2u);
+    EXPECT_EQ(m.sizePenalty(257), 4u);
+    EXPECT_EQ(m.sizePenalty(384), 4u);
+    EXPECT_EQ(m.sizePenalty(512), 4u);
+    EXPECT_EQ(m.sizePenalty(513), 6u);
+}
+
+TEST(CactiModel, PortPenaltyBoundaries)
+{
+    CactiModel m;
+    EXPECT_EQ(m.portPenalty(4), 0u);
+    EXPECT_EQ(m.portPenalty(5), 1u);
+    EXPECT_EQ(m.portPenalty(8), 1u);
+    EXPECT_EQ(m.portPenalty(9), 2u);
+    EXPECT_EQ(m.portPenalty(16), 2u);
+    EXPECT_EQ(m.portPenalty(17), 3u);
+}
+
+TEST(CactiModel, IdealSuppressesNonPowerOfTwoPenalty)
+{
+    CactiModel m;
+    m.ideal = true;
+    EXPECT_EQ(m.sizePenalty(192), 0u);
+    EXPECT_EQ(m.sizePenalty(129), 0u);
+}
+
 TEST(CactiModel, PortPenalties)
 {
     CactiModel m;

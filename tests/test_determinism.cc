@@ -16,6 +16,7 @@
 
 #include "core/presets.hh"
 #include "core/sweep.hh"
+#include "trace/trace.hh"
 
 using namespace gpummu;
 
@@ -134,6 +135,30 @@ TEST(Determinism, ArmedCheckerCoversLargePagesAndIommu)
         runConfigFull(BenchmarkId::Bfs, io_armed, tinyParams());
     EXPECT_TRUE(i0.stats == i1.stats);
     EXPECT_EQ(i0.statsJson, i1.statsJson);
+}
+
+TEST(Determinism, ArmedTracingIsBitIdentical)
+{
+    // Event tracing is observation-only: a run with a TraceSink armed
+    // must produce the same stats and byte-identical JSON as an
+    // unarmed run, while actually recording events. Covers the SIMT
+    // default, the TBC core and the shared-IOMMU path, whose hooks
+    // live in different components.
+    std::vector<SystemConfig> cfgs = {paperDefault()};
+    cfgs.push_back(presets::tbc(paperDefault()));
+    auto io = presets::iommu();
+    io.numCores = 4;
+    cfgs.push_back(io);
+    for (const SystemConfig &cfg : cfgs) {
+        const RunOutput plain =
+            runConfigFull(BenchmarkId::Bfs, cfg, tinyParams());
+        TraceSink sink;
+        const RunOutput traced =
+            runConfigFull(BenchmarkId::Bfs, cfg, tinyParams(), &sink);
+        EXPECT_TRUE(plain.stats == traced.stats) << cfg.name;
+        EXPECT_EQ(plain.statsJson, traced.statsJson) << cfg.name;
+        EXPECT_GT(sink.size(), 0u) << cfg.name;
+    }
 }
 
 TEST(Determinism, SeedIsTheOnlyFreeVariable)

@@ -78,6 +78,44 @@ TEST(Histogram, BucketsAndOverflow)
     EXPECT_EQ(h.buckets()[3], 1u); // overflow
 }
 
+// Bucket-edge pin: a value exactly at bucketWidth * num_buckets is
+// the first value past the last regular bucket [.., width*n), so it
+// must land in the overflow bucket, and width*n - 1 must not.
+TEST(Histogram, ValueAtBucketLimitLandsInOverflow)
+{
+    Histogram h(10, 3); // regular range [0, 30), overflow at 30+
+    h.sample(29);
+    h.sample(30);
+    ASSERT_EQ(h.buckets().size(), 4u);
+    EXPECT_EQ(h.buckets()[2], 1u); // 29
+    EXPECT_EQ(h.buckets()[3], 1u); // 30: first overflow value
+}
+
+TEST(Histogram, SummaryOnlyHasNoBuckets)
+{
+    Histogram h; // bucketWidth 0: summary-only
+    h.sample(1'000'000);
+    EXPECT_TRUE(h.buckets().empty());
+    EXPECT_EQ(h.bucketWidth(), 0u);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.max(), 1'000'000u);
+}
+
+TEST(Histogram, ResetKeepsBucketGeometry)
+{
+    Histogram h(10, 3);
+    h.sample(5);
+    h.sample(35);
+    h.reset();
+    ASSERT_EQ(h.buckets().size(), 4u);
+    for (auto b : h.buckets())
+        EXPECT_EQ(b, 0u);
+    EXPECT_EQ(h.bucketWidth(), 10u);
+    // The geometry survives: new samples bucket as before.
+    h.sample(15);
+    EXPECT_EQ(h.buckets()[1], 1u);
+}
+
 TEST(Histogram, ResetClearsEverything)
 {
     Histogram h(10, 2);
