@@ -16,7 +16,7 @@
  *                          chrome://tracing)
  *   --trace-filter=<pfx>   restrict the trace to categories whose
  *                          name starts with <pfx> (tlb, ptw,
- *                          coalescer, l1, l2, dram, core)
+ *                          coalescer, l1, l2, l2tlb, dram, core)
  */
 
 #ifndef BENCH_BENCH_UTIL_HH

@@ -101,6 +101,48 @@ InvariantChecker::onWalkCompleted(Vpn vpn)
 }
 
 void
+InvariantChecker::onMshrAlloc(Vpn tag)
+{
+    const bool fresh = mshrWaiters_.emplace(tag, 1).second;
+    GPUMMU_ASSERT(fresh, "MSHR allocated for VPN ", tag,
+                  " while one is already live");
+    ++mshrEventsChecked_;
+}
+
+void
+InvariantChecker::onMshrMerge(Vpn tag)
+{
+    auto it = mshrWaiters_.find(tag);
+    GPUMMU_ASSERT(it != mshrWaiters_.end(),
+                  "MSHR merge on VPN ", tag, " with no live MSHR");
+    ++it->second;
+    ++mshrEventsChecked_;
+}
+
+void
+InvariantChecker::onMshrWake(Vpn tag)
+{
+    auto it = mshrWaiters_.find(tag);
+    GPUMMU_ASSERT(it != mshrWaiters_.end() && it->second > 0,
+                  "MSHR wakeup for VPN ", tag,
+                  " exceeds its registered waiters");
+    if (--it->second == 0)
+        mshrWaiters_.erase(it);
+    ++mshrEventsChecked_;
+}
+
+void
+InvariantChecker::checkMshrsDrained() const
+{
+    GPUMMU_ASSERT(mshrWaiters_.empty(), mshrWaiters_.size(),
+                  " VPNs still hold unwoken MSHR waiters at kernel "
+                  "end (first VPN ",
+                  mshrWaiters_.empty() ? 0
+                                       : mshrWaiters_.begin()->first,
+                  ")");
+}
+
+void
 InvariantChecker::onPagingLine(std::uint64_t line, unsigned line_shift)
 {
     const Ppn frame = (line << line_shift) >> kPageShift4K;

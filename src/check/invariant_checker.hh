@@ -18,6 +18,9 @@
  *  - every walk handed to the walkers completes exactly once
  *    (conservation across naive walkers, scheduled batches and
  *    line coalescing);
+ *  - every waiter merged behind a shared-L2-TLB translation MSHR is
+ *    woken exactly once by that MSHR's fill (N merged misses -> 1
+ *    walk -> N wakeups);
  *  - every page-table reference and walk-cache entry lands inside a
  *    live paging-structure page;
  *  - all blocking state (outstanding walks, drain waiters, queued
@@ -83,12 +86,30 @@ class InvariantChecker
     /** Kernel-end conservation: every enqueued walk completed. */
     void checkWalksDrained() const;
 
+    /**
+     * @{ Translation-MSHR conservation (shared L2 TLB): N misses
+     * merged behind one MSHR must produce exactly one walk whose fill
+     * wakes each of the N waiters exactly once. Alloc registers the
+     * first waiter, merge each further one, and wake fires per waiter
+     * at the fill.
+     */
+    void onMshrAlloc(Vpn tag);
+    void onMshrMerge(Vpn tag);
+    void onMshrWake(Vpn tag);
+    /** Kernel-end: every registered waiter was woken. */
+    void checkMshrsDrained() const;
+    /** @} */
+
     /** @{ Check-volume accessors, so tests can assert coverage. */
     std::uint64_t fillsChecked() const { return fillsChecked_; }
     std::uint64_t hitsChecked() const { return hitsChecked_; }
     std::uint64_t entriesSwept() const { return entriesSwept_; }
     std::uint64_t walksTracked() const { return walksTracked_; }
     std::uint64_t linesChecked() const { return linesChecked_; }
+    std::uint64_t mshrEventsChecked() const
+    {
+        return mshrEventsChecked_;
+    }
     /** @} */
 
   private:
@@ -102,6 +123,8 @@ class InvariantChecker
 
     /** VPN -> enqueued-but-not-completed walk count. */
     std::map<Vpn, std::uint64_t> outstandingWalks_;
+    /** VPN -> registered-but-unwoken MSHR waiter count. */
+    std::map<Vpn, std::uint64_t> mshrWaiters_;
     /** (set, tag) pairs seen by the sweep in progress. */
     std::set<std::pair<std::size_t, Vpn>> sweepSeen_;
     bool sweepActive_ = false;
@@ -111,6 +134,7 @@ class InvariantChecker
     std::uint64_t entriesSwept_ = 0;
     std::uint64_t walksTracked_ = 0;
     std::uint64_t linesChecked_ = 0;
+    std::uint64_t mshrEventsChecked_ = 0;
 };
 
 } // namespace gpummu

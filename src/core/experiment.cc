@@ -3,6 +3,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "mmu/l2_tlb.hh"
 #include "sched/ccws.hh"
 #include "sim/logging.hh"
 #include "tbc/tbc_core.hh"
@@ -84,17 +85,60 @@ runConfigFull(BenchmarkId bench, const SystemConfig &cfg_in,
     if (cfg.checkInvariants) {
         cfg.core.mmu.checkInvariants = true;
         cfg.iommuCfg.checkInvariants = true;
+        cfg.l2tlb.checkInvariants = true;
     }
 
     auto workload = makeWorkload(bench, params);
     if (!cfg.iommu) {
-        GpuTop gpu(cfg.numCores, cfg.mem, *workload,
-                   makeCoreFactory(cfg), cfg.largePages,
-                   cfg.physFrames);
-        if (trace != nullptr)
+        GpuTop::CoreFactory factory = makeCoreFactory(cfg);
+
+        // Shared L2 TLB: one GPU-wide instance, created with the
+        // first core (the same holder pattern as the IOMMU below)
+        // and attached to every core's MMU miss path.
+        std::shared_ptr<std::unique_ptr<L2Tlb>> l2_holder;
+        if (cfg.l2tlb.enabled) {
+            GPUMMU_ASSERT(cfg.core.mmu.enabled,
+                          "a shared L2 TLB needs per-core MMUs");
+            l2_holder = std::make_shared<std::unique_ptr<L2Tlb>>();
+            auto base = std::move(factory);
+            factory = [cfg, base, l2_holder](
+                          int core_id, const LaunchParams &launch,
+                          AddressSpace &as, MemorySystem &mem,
+                          EventQueue &eq)
+                -> std::unique_ptr<ShaderCore> {
+                if (!*l2_holder) {
+                    *l2_holder = std::make_unique<L2Tlb>(
+                        cfg.l2tlb, as.pageTable(), eq,
+                        as.usesLargePages() ? kPageShift2M
+                                            : kPageShift4K);
+                }
+                auto core = base(core_id, launch, as, mem, eq);
+                core->mmu().setL2Tlb(l2_holder->get());
+                return core;
+            };
+        }
+
+        GpuTop gpu(cfg.numCores, cfg.mem, *workload, factory,
+                   cfg.largePages, cfg.physFrames);
+        if (l2_holder && *l2_holder)
+            (*l2_holder)->regStats(gpu.stats(), "l2tlb");
+        if (trace != nullptr) {
             gpu.setTraceSink(trace);
-        return finishRun(gpu, bench, cfg);
+            // The shared L2 TLB is not a per-core component; arm it
+            // directly (tid -1 marks the GPU-wide instance).
+            if (l2_holder && *l2_holder)
+                (*l2_holder)->setTraceSink(trace, -1);
+        }
+        RunOutput out = finishRun(gpu, bench, cfg);
+        // The shared L2 TLB is not reached by GpuTop's per-core
+        // sweep, so its MSHR drain invariants are verified here.
+        if (l2_holder && *l2_holder)
+            (*l2_holder)->checkEndOfKernel();
+        return out;
     }
+    GPUMMU_ASSERT(!cfg.l2tlb.enabled,
+                  "the shared L2 TLB sits behind per-core MMUs; "
+                  "IOMMU mode has no miss path to attach it to");
 
     // IOMMU mode: one shared translation unit for the whole GPU,
     // created with the first core and kept alive for the run.

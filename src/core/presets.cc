@@ -169,5 +169,19 @@ withLargePages(SystemConfig cfg)
     return cfg;
 }
 
+SystemConfig
+withSharedL2Tlb(SystemConfig cfg, std::size_t entries, unsigned ports)
+{
+    cfg.name += "+l2tlb-" + std::to_string(entries) + "e-" +
+                std::to_string(ports) + "p";
+    cfg.l2tlb.enabled = true;
+    cfg.l2tlb.entries = entries;
+    cfg.l2tlb.ports = ports;
+    // Keep ways a divisor of small sweep sizes.
+    if (entries < cfg.l2tlb.ways)
+        cfg.l2tlb.ways = entries;
+    return cfg;
+}
+
 } // namespace presets
 } // namespace gpummu

@@ -75,6 +75,16 @@ SystemConfig tlbAwareTbc(SystemConfig base, unsigned cpm_bits);
 /** Switch a config to 2MB pages (Section 9). */
 SystemConfig withLargePages(SystemConfig cfg);
 
+/**
+ * Back @p cfg's per-core MMUs with a shared second-level TLB of
+ * @p entries entries and @p ports lookup ports (the shared-L2 design
+ * point of the heterogeneous-MMU studies; see PAPERS.md). Requires a
+ * config with per-core MMUs enabled.
+ */
+SystemConfig withSharedL2Tlb(SystemConfig cfg,
+                             std::size_t entries = 4096,
+                             unsigned ports = 2);
+
 } // namespace presets
 } // namespace gpummu
 

@@ -15,6 +15,7 @@
 
 #include "gpu/simt_core.hh"
 #include "mmu/iommu.hh"
+#include "mmu/l2_tlb.hh"
 #include "mem/memory_system.hh"
 #include "sched/ccws.hh"
 #include "tbc/tbc_core.hh"
@@ -62,6 +63,15 @@ struct SystemConfig
      */
     bool iommu = false;
     IommuConfig iommuCfg;
+
+    /**
+     * Shared second-level TLB between every core's L1 TLB miss path
+     * and its page walkers, with per-VPN translation MSHRs merging
+     * concurrent cross-core misses into one walk. Off by default
+     * (l2tlb.enabled); requires per-core MMUs and excludes IOMMU
+     * mode.
+     */
+    L2TlbConfig l2tlb;
 
     /** Back the address space with 2MB pages (Section 9). */
     bool largePages = false;

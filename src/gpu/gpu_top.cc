@@ -114,9 +114,11 @@ GpuTop::run(Cycle max_cycles)
     // Armed runs verify the drain invariants here: all blocking MMU
     // state (outstanding walks, drain waiters, queued batches) must
     // be gone once every core is idle, and every surviving TLB entry
-    // must still match its reference walk.
+    // must still match its reference walk. endKernel() also clears
+    // transient walker state (stale port reservations) so a
+    // follow-on kernel would start from a clean pipeline.
     for (auto &core : cores_)
-        core->mmu().checkEndOfKernel();
+        core->mmu().endKernel();
 
     // Fold the per-warp stall ledgers into their stalls.* histograms
     // before anyone dumps the registry.

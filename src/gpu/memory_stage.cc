@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mem/request.hh"
+#include "mmu/l2_tlb.hh"
 #include "sim/logging.hh"
 #include "trace/trace.hh"
 
@@ -135,7 +136,18 @@ MemoryStage::issue(int warp_id, bool is_store,
     if (tlb_missed_instr) {
         instrsWithTlbMiss_.inc();
         // A page-walk wait dominates any cache behaviour underneath.
+        // But when every missing VPN is already resident in the
+        // shared L2 TLB, the wait is its short hit latency, not a
+        // walk - attribute that separately so "time lost to walks"
+        // stays honest with an L2 in the design.
         lastIssueReason_ = StallReason::TlbMiss;
+        if (const L2Tlb *l2 = mmu_.l2Tlb()) {
+            bool covered = true;
+            for (Vpn v : miss_vpns)
+                covered = covered && l2->probe(v);
+            if (covered)
+                lastIssueReason_ = StallReason::L2Tlb;
+        }
     }
 
     // --- All hits: straight to the L1. ---

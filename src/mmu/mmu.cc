@@ -1,5 +1,6 @@
 #include "mmu/mmu.hh"
 
+#include "mmu/l2_tlb.hh"
 #include "sim/logging.hh"
 
 namespace gpummu {
@@ -95,6 +96,94 @@ Mmu::onDrain(std::function<void()> fn)
 }
 
 void
+Mmu::setL2Tlb(L2Tlb *l2)
+{
+    GPUMMU_ASSERT(cfg_.enabled,
+                  "an L2 TLB behind a disabled MMU is unreachable");
+    GPUMMU_ASSERT(outstanding_.empty(),
+                  "setL2Tlb with walks already outstanding");
+    GPUMMU_ASSERT(l2 == nullptr || l2->pageShift() == pageShift_,
+                  "shared L2 TLB granularity mismatch");
+    l2_ = l2;
+}
+
+std::pair<std::uint64_t, bool>
+Mmu::resolveWalk(Vpn vpn4k)
+{
+    auto path = as_.pageTable().walk(vpn4k);
+    Translation t = path.result;
+    const std::uint64_t frame_base =
+        t.isLarge ? (t.ppn >> (kPageShift2M - kPageShift4K)) : t.ppn;
+    GPUMMU_ASSERT(t.isLarge == as_.usesLargePages(),
+                  "page size mismatch between walk and MMU");
+    return {frame_base, t.isLarge};
+}
+
+void
+Mmu::finishWalk(Vpn tag, std::uint64_t frame_base, bool is_large,
+                int warp_id, Cycle finish)
+{
+    tlb_.fill(tag, Translation{frame_base, is_large}, warp_id);
+
+    auto it = outstanding_.find(tag);
+    GPUMMU_ASSERT(it != outstanding_.end(),
+                  "walk completion for unknown VPN");
+    auto waiters = std::move(it->second);
+    outstanding_.erase(it);
+
+    auto start_it = missStart_.find(tag);
+    GPUMMU_ASSERT(start_it != missStart_.end());
+    missLatency_.sample(finish - start_it->second);
+    missStart_.erase(start_it);
+
+    for (auto &fn : waiters)
+        fn(tag, frame_base, finish);
+
+    if (outstanding_.empty() && !drainWaiters_.empty()) {
+        auto drained = std::move(drainWaiters_);
+        drainWaiters_.clear();
+        for (auto &fn : drained)
+            fn();
+    }
+}
+
+void
+Mmu::issueWalks(const std::vector<Vpn> &tags, int warp_id, Cycle at,
+                std::shared_ptr<std::set<Vpn>> bypass_tags)
+{
+    // The walkers operate on 4KB-granularity VPNs; in large-page mode
+    // the TLB tag is the 2MB VPN, so expand before walking.
+    std::vector<Vpn> walk_vpns;
+    walk_vpns.reserve(tags.size());
+    const unsigned expand = pageShift_ - kPageShift4K;
+    for (Vpn tag : tags)
+        walk_vpns.push_back(tag << expand);
+
+    walkers_.requestBatch(
+        walk_vpns, at,
+        [this, warp_id,
+         bypass_tags = std::move(bypass_tags)](Vpn vpn4k,
+                                               Cycle finish) {
+            const Vpn tag = vpn4k >> (pageShift_ - kPageShift4K);
+            auto [frame_base, is_large] = resolveWalk(vpn4k);
+            if (l2_ == nullptr) {
+                finishWalk(tag, frame_base, is_large, warp_id, finish);
+            } else if (bypass_tags && bypass_tags->count(tag)) {
+                // Walked uncovered (MSHR file was full): install the
+                // result for later requesters, complete ourselves.
+                l2_->fillBypass(
+                    tag, Translation{frame_base, is_large}, finish);
+                finishWalk(tag, frame_base, is_large, warp_id, finish);
+            } else {
+                // The fill wakes every core merged behind the MSHR,
+                // including this one (its wakeup runs finishWalk).
+                l2_->fill(tag, Translation{frame_base, is_large},
+                          finish);
+            }
+        });
+}
+
+void
 Mmu::requestWalks(const std::vector<Vpn> &vpns, int warp_id, Cycle now,
                   WalkDoneFn done)
 {
@@ -116,47 +205,41 @@ Mmu::requestWalks(const std::vector<Vpn> &vpns, int warp_id, Cycle now,
     if (to_walk.empty())
         return;
 
-    // The walkers operate on 4KB-granularity VPNs; in large-page mode
-    // the TLB tag is the 2MB VPN, so expand before walking.
-    std::vector<Vpn> walk_vpns;
-    walk_vpns.reserve(to_walk.size());
-    const unsigned expand = pageShift_ - kPageShift4K;
-    for (Vpn vpn : to_walk)
-        walk_vpns.push_back(vpn << expand);
+    if (l2_ == nullptr) {
+        issueWalks(to_walk, warp_id, now, nullptr);
+        return;
+    }
 
-    walkers_.requestBatch(
-        walk_vpns, now, [this, warp_id](Vpn vpn4k, Cycle finish) {
-            const Vpn tag = vpn4k >> (pageShift_ - kPageShift4K);
-            auto path = as_.pageTable().walk(vpn4k);
-            Translation t = path.result;
-            std::uint64_t frame_base =
-                t.isLarge ? (t.ppn >> (kPageShift2M - kPageShift4K))
-                          : t.ppn;
-            GPUMMU_ASSERT(t.isLarge == as_.usesLargePages(),
-                          "page size mismatch between walk and MMU");
-            tlb_.fill(tag, Translation{frame_base, t.isLarge}, warp_id);
-
-            auto it = outstanding_.find(tag);
-            GPUMMU_ASSERT(it != outstanding_.end(),
-                          "walk completion for unknown VPN");
-            auto waiters = std::move(it->second);
-            outstanding_.erase(it);
-
-            auto start_it = missStart_.find(tag);
-            GPUMMU_ASSERT(start_it != missStart_.end());
-            missLatency_.sample(finish - start_it->second);
-            missStart_.erase(start_it);
-
-            for (auto &fn : waiters)
-                fn(tag, frame_base, finish);
-
-            if (outstanding_.empty() && !drainWaiters_.empty()) {
-                auto drained = std::move(drainWaiters_);
-                drainWaiters_.clear();
-                for (auto &fn : drained)
-                    fn();
-            }
-        });
+    // Shared L2 TLB on the miss path: hits and merges into other
+    // cores' in-flight walks complete without touching this core's
+    // walkers; the rest walk in one batch once the slowest lookup
+    // has resolved (the L2 arbitrates its ports across cores).
+    std::vector<Vpn> need_walk;
+    auto bypass_tags = std::make_shared<std::set<Vpn>>();
+    Cycle walk_at = now;
+    for (Vpn tag : to_walk) {
+        auto res = l2_->access(
+            tag, now,
+            [this, warp_id](Vpn t, std::uint64_t frame, bool large,
+                            Cycle ready) {
+                finishWalk(t, frame, large, warp_id, ready);
+            });
+        switch (res.outcome) {
+          case L2Tlb::Outcome::Hit:
+          case L2Tlb::Outcome::Merged:
+            l2Satisfied_.inc();
+            break;
+          case L2Tlb::Outcome::Bypass:
+            bypass_tags->insert(tag);
+            [[fallthrough]];
+          case L2Tlb::Outcome::NeedWalk:
+            need_walk.push_back(tag);
+            walk_at = std::max(walk_at, res.ready);
+            break;
+        }
+    }
+    if (!need_walk.empty())
+        issueWalks(need_walk, warp_id, walk_at, std::move(bypass_tags));
 }
 
 void
@@ -164,6 +247,8 @@ Mmu::shootdown()
 {
     shootdowns_.inc();
     tlb_.flush();
+    if (l2_ != nullptr)
+        l2_->flush();
 }
 
 void
@@ -182,12 +267,20 @@ Mmu::checkEndOfKernel() const
 }
 
 void
+Mmu::endKernel()
+{
+    checkEndOfKernel();
+    walkers_.onKernelDrained();
+}
+
+void
 Mmu::regStats(StatRegistry &reg, const std::string &prefix)
 {
     tlb_.regStats(reg, prefix + ".tlb");
     walkers_.regStats(reg, prefix + ".ptw");
     reg.addCounter(prefix + ".merged_walks", &mergedWalks_);
     reg.addCounter(prefix + ".shootdowns", &shootdowns_);
+    reg.addCounter(prefix + ".l2tlb_satisfied", &l2Satisfied_);
     reg.addHistogram(prefix + ".miss_latency", &missLatency_);
 }
 

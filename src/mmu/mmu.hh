@@ -25,7 +25,9 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "check/invariant_checker.hh"
@@ -37,6 +39,8 @@
 #include "vm/address_space.hh"
 
 namespace gpummu {
+
+class L2Tlb;
 
 struct MmuConfig
 {
@@ -169,7 +173,22 @@ class Mmu
     PageWalkers &walkers() { return walkers_; }
     const PageWalkers &walkers() const { return walkers_; }
 
-    /** TLB shootdown from the host CPU (IPI-driven flush). */
+    /**
+     * Attach the GPU-wide shared second-level TLB. When set, every
+     * L1-TLB miss consults it before walking: hits avoid the walk,
+     * misses allocate (or merge into) a translation MSHR and this
+     * core's walker pool services the walk, filling the L2 so every
+     * merged core wakes. Must be called before the first miss; the
+     * shared instance must use this MMU's translation granularity.
+     */
+    void setL2Tlb(L2Tlb *l2);
+
+    L2Tlb *l2Tlb() { return l2_; }
+    const L2Tlb *l2Tlb() const { return l2_; }
+
+    /** TLB shootdown from the host CPU (IPI-driven flush). Also
+     *  flushes the shared L2 TLB when one is attached (idempotent
+     *  across the cores sharing it). */
     void shootdown();
 
     /**
@@ -178,6 +197,14 @@ class Mmu
      * resident TLB entry still equal to its reference walk.
      */
     void checkEndOfKernel() const;
+
+    /**
+     * Kernel boundary: run the drain checks, then clear transient
+     * walker state (the issue-port reservation) so a following
+     * kernel starts from a clean pipeline. Warm TLB/walk-cache
+     * contents survive.
+     */
+    void endKernel();
 
     /** The armed checker, or nullptr (tests assert check volumes). */
     const InvariantChecker *checker() const { return checker_.get(); }
@@ -196,14 +223,36 @@ class Mmu
     /** Full TLB-miss service time distribution (Fig. 4). */
     const Histogram &missLatency() const { return missLatency_; }
     std::uint64_t mergedWalks() const { return mergedWalks_.value(); }
+    /** Misses of this core satisfied by the shared L2 TLB (array
+     *  hits + merges into other cores' in-flight walks). */
+    std::uint64_t l2Satisfied() const { return l2Satisfied_.value(); }
 
   private:
+    /**
+     * Shared completion tail of every translation path (own walk, L2
+     * hit, L2 MSHR wakeup): fill the L1 TLB, retire the outstanding
+     * entry, sample the miss latency and fire the waiters.
+     */
+    void finishWalk(Vpn tag, std::uint64_t frame_base, bool is_large,
+                    int warp_id, Cycle finish);
+
+    /** Functional walk of @p vpn4k -> (frame base in page units,
+     *  large flag), asserting granularity agreement. */
+    std::pair<std::uint64_t, bool> resolveWalk(Vpn vpn4k);
+
+    /** Issue walker-pool walks for @p tags (page-granularity), with
+     *  completions routed through the L2 TLB when attached. */
+    void issueWalks(const std::vector<Vpn> &tags, int warp_id,
+                    Cycle at,
+                    std::shared_ptr<std::set<Vpn>> bypass_tags);
+
     MmuConfig cfg_;
     AddressSpace &as_;
     unsigned pageShift_;
     std::unique_ptr<InvariantChecker> checker_;
     Tlb tlb_;
     PageWalkers walkers_;
+    L2Tlb *l2_ = nullptr;
 
     /** VPN -> waiters, for merging concurrent walks to one page. */
     std::map<Vpn, std::vector<WalkDoneFn>> outstanding_;
@@ -212,6 +261,7 @@ class Mmu
 
     Counter mergedWalks_;
     Counter shootdowns_;
+    Counter l2Satisfied_;
     Histogram missLatency_;
 };
 

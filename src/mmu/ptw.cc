@@ -33,14 +33,21 @@ PageWalkers::walkRef(PhysAddr line_addr, Cycle at)
                           "line", line_addr);
     if (checker_)
         checker_->onPagingLine(line_addr, kLineShift);
-    if (cfg_.pwcLines > 0 && pwc_.lookup(line_addr).hit) {
-        pwcHits_.inc();
-        return issue + cfg_.pwcHitLatency;
+    if (cfg_.pwcLines > 0) {
+        auto res = pwc_.lookup(line_addr);
+        if (res.hit) {
+            pwcHits_.inc();
+            // The line enters the cache when its fetch is *issued*,
+            // so a hit may land while the fill is still in flight
+            // from memory; such a hit cannot complete before the
+            // fill does (no hit-under-fill optimism).
+            return std::max(issue + cfg_.pwcHitLatency, *res.payload);
+        }
     }
     auto out =
         mem_.access(line_addr, false, issue, AccessSource::PageWalk);
     if (cfg_.pwcLines > 0)
-        pwc_.insert(line_addr, 0);
+        pwc_.insert(line_addr, out.readyAt);
     return out.readyAt;
 }
 
@@ -222,9 +229,18 @@ PageWalkers::checkDrained() const
     GPUMMU_ASSERT(!busy(), "walker pool busy at kernel end: ",
                   inFlight_, " in flight, ", queue_.size(), " queued");
     checker_->checkWalksDrained();
-    pwc_.forEach([this](std::size_t, std::uint64_t line, char) {
+    pwc_.forEach([this](std::size_t, std::uint64_t line, Cycle) {
         checker_->onPagingLine(line, kLineShift);
     });
+}
+
+void
+PageWalkers::onKernelDrained()
+{
+    GPUMMU_ASSERT(!busy(),
+                  "kernel-boundary reset with walks in flight: ",
+                  inFlight_, " in flight, ", queue_.size(), " queued");
+    portFreeAt_ = 0;
 }
 
 void

@@ -108,6 +108,17 @@ class PageWalkers
      */
     void checkDrained() const;
 
+    /**
+     * Kernel-boundary reset, called once the pool has drained. The
+     * issue-port reservation can outlive the last walk's completion
+     * (a trailing walk-cache hit completes before its port slot
+     * expires whenever portInterval > pwcHitLatency), so without this
+     * the next kernel's first reference inherits a stale delay and
+     * back-to-back kernels are not timing-independent. The walk cache
+     * itself survives: warm paging-structure lines are real state.
+     */
+    void onKernelDrained();
+
     void regStats(StatRegistry &reg, const std::string &prefix);
 
     std::uint64_t walksCompleted() const { return walks_.value(); }
@@ -179,7 +190,10 @@ class PageWalkers
     std::deque<PendingWalk> queue_;
     std::vector<bool> walkerBusy_;
     Cycle portFreeAt_ = 0;
-    SetAssocArray<char> pwc_;
+    /** Walk cache payload: the cycle the line's fill completes, so a
+     *  hit on a line still in flight from memory waits for it
+     *  (no hit-under-fill optimism). */
+    SetAssocArray<Cycle> pwc_;
     unsigned inFlight_ = 0;
 
     Counter walks_;

@@ -42,8 +42,10 @@ Tlb::lookup(Vpn vpn, int warp_id, bool record)
 
     // Record this warp in the entry's history (most recent first),
     // dropping the oldest when full. Duplicate of the head is not
-    // re-pushed to keep the history informative.
-    if (cfg_.historyLength > 0 && warp_id >= 0 &&
+    // re-pushed to keep the history informative. Non-recording
+    // probes (record=false) must not mutate the history either: the
+    // schedulers consume it, and a what-if probe is not an access.
+    if (record && cfg_.historyLength > 0 && warp_id >= 0 &&
         (res.payload->historyUsed == 0 ||
          res.payload->warpHistory[0] != warp_id)) {
         auto &h = res.payload->warpHistory;
@@ -104,7 +106,24 @@ void
 Tlb::flush()
 {
     flushes_.inc();
+    // A flush evicts every resident entry; the eviction listener must
+    // see each one, or the schedulers' lost-locality bookkeeping
+    // (CCWS/TCWS victim tag arrays) silently leaks the whole TLB
+    // contents on every shootdown while ordinary capacity evictions
+    // are scored. Snapshot first: the listener may probe the TLB.
+    std::vector<std::pair<Vpn, int>> victims;
+    array_.forEach([&victims](std::size_t, std::uint64_t tag,
+                              const TlbEntryInfo &e) {
+        victims.emplace_back(tag, e.allocWarp);
+    });
     array_.flush();
+    for (const auto &[vpn, alloc_warp] : victims) {
+        if (trace_)
+            trace_->instant(TraceCat::Tlb, "tlb_evict", traceTid_,
+                            "vpn", vpn);
+        if (onEvict_)
+            onEvict_(vpn, alloc_warp);
+    }
 }
 
 void

@@ -78,7 +78,9 @@ class Tlb
     /** Install a translation (walk completion). */
     void fill(Vpn vpn, const Translation &t, int alloc_warp = -1);
 
-    /** Full flush (shootdown from the host CPU). */
+    /** Full flush (shootdown from the host CPU). Every discarded
+     *  entry is reported through the eviction listener, exactly like
+     *  a capacity eviction. */
     void flush();
 
     /** (evicted VPN, warp that allocated the entry). */

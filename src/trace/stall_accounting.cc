@@ -18,6 +18,8 @@ stallReasonName(StallReason r)
         return "l1_miss";
       case StallReason::Dram:
         return "dram";
+      case StallReason::L2Tlb:
+        return "l2tlb";
       case StallReason::WalkerStructural:
         return "walker_structural";
       case StallReason::TlbMiss:

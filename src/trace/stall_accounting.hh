@@ -10,6 +10,9 @@
  *                      blocking-TLB gate while the MMU drains);
  *  - WalkerStructural: bounced by the no-miss-under-miss policy and
  *                      parked until the walker pool drains;
+ *  - L2Tlb:            the instruction's L1-TLB misses were all
+ *                      resident in the shared L2 TLB, so the wait is
+ *                      its short hit latency rather than a page walk;
  *  - Dram:             the instruction's slowest line went to DRAM;
  *  - L1Miss:           the slowest line missed the L1 but hit the L2
  *                      (or merged into an outstanding fill);
@@ -51,10 +54,11 @@ enum class StallReason : std::uint8_t
     Interconnect,     ///< fixed pipe latency only
     L1Miss,           ///< L1 miss served by the L2
     Dram,             ///< L2 miss served by DRAM
+    L2Tlb,            ///< L1-TLB miss satisfied by the shared L2 TLB
     WalkerStructural, ///< bounced: walker pool busy (PTW full)
     TlbMiss,          ///< waiting on TLB-miss page walks
 };
-inline constexpr std::size_t kNumStallReasons = 7;
+inline constexpr std::size_t kNumStallReasons = 8;
 
 /** Stable stat-name suffix for a reason ("tlb_miss", "dram", ...). */
 const char *stallReasonName(StallReason r);

@@ -26,6 +26,8 @@ traceCatName(TraceCat cat)
         return "dram";
       case TraceCat::Core:
         return "core";
+      case TraceCat::L2Tlb:
+        return "l2tlb";
     }
     GPUMMU_PANIC("unknown trace category");
 }

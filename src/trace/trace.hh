@@ -44,8 +44,9 @@ enum class TraceCat : std::uint8_t
     L2,        ///< shared L2 slice hits and misses
     Dram,      ///< DRAM channel busy spans
     Core,      ///< shader-core level events
+    L2Tlb,     ///< shared L2 TLB lookups, fills, MSHR lifecycle
 };
-inline constexpr std::size_t kNumTraceCats = 7;
+inline constexpr std::size_t kNumTraceCats = 8;
 
 /** Stable lower-case name of a category ("tlb", "ptw", ...). */
 const char *traceCatName(TraceCat cat);

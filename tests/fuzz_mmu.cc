@@ -127,6 +127,35 @@ randomPtw(Rng &rng)
     return p;
 }
 
+L2TlbConfig
+randomL2Tlb(Rng &rng)
+{
+    L2TlbConfig l2;
+    l2.enabled = true;
+    const std::size_t entries_pool[] = {256, 512, 1024, 2048};
+    l2.entries = entries_pool[rng.below(4)];
+    const std::size_t ways_pool[] = {2, 4, 8};
+    l2.ways = ways_pool[rng.below(3)];
+    l2.ports = static_cast<unsigned>(rng.range(1, 4));
+    const unsigned mshrs_pool[] = {1, 4, 16, 32};
+    l2.mshrs = mshrs_pool[rng.below(4)];
+    l2.hitLatency = rng.range(2, 16);
+    l2.lookupInterval = rng.range(1, 4);
+    return l2;
+}
+
+std::string
+describeL2Tlb(const L2TlbConfig &l2)
+{
+    if (!l2.enabled)
+        return " l2tlb=off";
+    std::ostringstream os;
+    os << " l2tlb{e=" << l2.entries << ",w=" << l2.ways
+       << ",p=" << l2.ports << ",mshrs=" << l2.mshrs
+       << ",lat=" << l2.hitLatency << "/" << l2.lookupInterval << "}";
+    return os.str();
+}
+
 MmuConfig
 randomMmu(Rng &rng)
 {
@@ -384,6 +413,10 @@ fuzzFullStack(std::uint64_t seed, Rng &rng)
         cfg = presets::tbc(cfg);
         mode_name = "tbc";
     }
+    // The shared L2 TLB rides along with any per-core-MMU mode (it
+    // has no attachment point behind the IOMMU).
+    if (mode_name != "iommu" && rng.chance(0.4))
+        cfg.l2tlb = randomL2Tlb(rng);
     cfg.checkInvariants = true;
     cfg.numCores = static_cast<unsigned>(rng.range(1, 2));
 
@@ -398,6 +431,7 @@ fuzzFullStack(std::uint64_t seed, Rng &rng)
                          " mode=" + mode_name + " cores=" +
                          std::to_string(cfg.numCores) + " " +
                          describeMmu(cfg.core.mmu, cfg.largePages) +
+                         describeL2Tlb(cfg.l2tlb) +
                          " wseed=" + std::to_string(params.seed));
     const RunOutput out = runConfigFull(bench, cfg, params);
     if (out.stats.cycles == 0)

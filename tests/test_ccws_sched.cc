@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "mmu/tlb.hh"
 #include "sched/ccws.hh"
 
 using namespace gpummu;
@@ -240,6 +241,28 @@ TEST(Tcws, ThrottlesLikeCcws)
     for (int w = 2; w < 8; ++w)
         blocked += !tcws.mayIssueMem(w);
     EXPECT_GT(blocked, 0);
+}
+
+TEST(Tcws, ShootdownFlushFeedsVictimTagArray)
+{
+    // Wire a real TLB's eviction listener to TCWS and flush it: every
+    // flushed entry must land in its allocating warp's VTA so a
+    // post-shootdown re-miss scores as lost locality, exactly like a
+    // capacity eviction would.
+    Tcws tcws(smallTcws());
+    TlbConfig tcfg;
+    tcfg.entries = 8;
+    tcfg.ways = 4;
+    Tlb tlb(tcfg);
+    tlb.setEvictionListener(
+        [&](Vpn v, int w) { tcws.onTlbEviction(v, w); });
+    tlb.fill(50, Translation{1, false}, /*alloc_warp=*/2);
+    tlb.fill(51, Translation{2, false}, /*alloc_warp=*/3);
+    tlb.flush();
+    tcws.onTlbMiss(2, 50);
+    tcws.onTlbMiss(3, 51);
+    EXPECT_EQ(tcws.score(2), 100u);
+    EXPECT_EQ(tcws.score(3), 100u);
 }
 
 TEST(Tcws, WarpResetClearsState)

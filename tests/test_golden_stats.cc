@@ -70,6 +70,13 @@ goldenCases()
                      presets::ccws(goldenConfig())});
     cases.push_back({"mummergpu_tbc", BenchmarkId::Mummergpu,
                      presets::tbc(goldenConfig())});
+    // Shared L2 TLB path: two benchmarks pin the MSHR merge/bypass
+    // protocol and the L2 port arbitration at a small capacity where
+    // evictions actually happen.
+    cases.push_back({"bfs_l2tlb", BenchmarkId::Bfs,
+                     presets::withSharedL2Tlb(goldenConfig(), 512, 2)});
+    cases.push_back({"pathfinder_l2tlb", BenchmarkId::Pathfinder,
+                     presets::withSharedL2Tlb(goldenConfig(), 512, 2)});
     return cases;
 }
 

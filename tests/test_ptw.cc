@@ -187,6 +187,73 @@ TEST_F(PtwFixture, WalkCacheShortensRepeatWalks)
     EXPECT_LT(second - start2, first);
 }
 
+TEST_F(PtwFixture, PwcHitWaitsForInFlightLineFill)
+{
+    // Two walks in one scheduled batch whose leaf PTEs share a
+    // 128-byte line: the first reference fetches the line from
+    // memory, the second hits the walk cache while that fill is
+    // still in flight. The hit must wait for the fill - it cannot
+    // complete in pwcHitLatency cycles when the line is not there
+    // yet (hit-under-fill optimism).
+    const Vpn a = vpnOf(1, 1, 1, 0);
+    const Vpn b = vpnOf(1, 1, 1, 1); // same PTE line as a
+    pt.map4K(a, 11);
+    pt.map4K(b, 12);
+    PtwConfig cfg;
+    cfg.scheduling = true;
+    auto w = make(cfg);
+    Cycle done_a = 0, done_b = 0;
+    w.requestBatch({a, b}, 0, [&](Vpn v, Cycle c) {
+        (v == a ? done_a : done_b) = c;
+    });
+    eq.runUntil(1'000'000);
+    EXPECT_GT(w.pwcHits(), 0u);
+    EXPECT_GT(done_a, 0u);
+    EXPECT_GE(done_b, done_a);
+}
+
+TEST_F(PtwFixture, KernelBoundaryResetsIssuePortReservation)
+{
+    // With portInterval > pwcHitLatency, an all-walk-cache-hit walk
+    // completes before its last port slot expires, so the port
+    // reservation outlives the drained kernel. onKernelDrained()
+    // must clear it: a kernel started right at the drain cycle sees
+    // the same walk latency as one started from an idle pool.
+    pt.map4K(vpnOf(5, 5, 5, 5), 1);
+    pt.map4K(vpnOf(5, 5, 5, 6), 2);
+    pt.map4K(vpnOf(5, 5, 5, 7), 3);
+    PtwConfig cfg;
+    cfg.portInterval = 10;
+    ASSERT_GT(cfg.portInterval, cfg.pwcHitLatency);
+    auto w = make(cfg);
+    auto drain = [&] {
+        while (w.busy())
+            eq.runUntil(eq.now() + 1);
+    };
+
+    // Warm every paging-structure line the three walks share.
+    w.requestBatch({vpnOf(5, 5, 5, 5)}, 0, [](Vpn, Cycle) {});
+    drain();
+
+    // Kernel 1 ends on an all-PWC-hit walk; its final reference is
+    // ready pwcHitLatency after issue but holds the port longer.
+    const Cycle start_b = eq.now();
+    Cycle done_b = 0;
+    w.requestBatch({vpnOf(5, 5, 5, 6)}, start_b,
+                   [&](Vpn, Cycle c) { done_b = c; });
+    drain();
+    w.onKernelDrained();
+
+    // Kernel 2 starts at the drain cycle, inside the window the
+    // stale reservation would still cover.
+    const Cycle start_c = eq.now();
+    Cycle done_c = 0;
+    w.requestBatch({vpnOf(5, 5, 5, 7)}, start_c,
+                   [&](Vpn, Cycle c) { done_c = c; });
+    drain();
+    EXPECT_EQ(done_c - start_c, done_b - start_b);
+}
+
 TEST_F(PtwFixture, TwoMegWalksHaveThreeLevels)
 {
     const std::uint64_t per_large = kPageSize2M / kPageSize4K;

@@ -40,6 +40,62 @@ TEST(Tlb, UnrecordedLookupSkipsStats)
     EXPECT_EQ(tlb.accesses(), 0u);
 }
 
+TEST(Tlb, UnrecordedLookupLeavesWarpHistoryUntouched)
+{
+    // record=false marks re-probes after a walk completes; they must
+    // be invisible to the common page matrix, not just the stats.
+    Tlb tlb(TlbConfig{});
+    tlb.fill(7, Translation{1, false});
+    tlb.lookup(7, 3);
+    tlb.lookup(7, 8, /*record=*/false); // re-probe by warp 8
+    auto res = tlb.lookup(7, 5);
+    // The snapshot sees only the recorded access by warp 3.
+    ASSERT_EQ(res.historyUsed, 1u);
+    EXPECT_EQ(res.history[0], 3);
+}
+
+TEST(Tlb, RecordedLookupUpdatesWarpHistory)
+{
+    // The counterpart pin: with record=true (the default) the same
+    // sequence does enter the history.
+    Tlb tlb(TlbConfig{});
+    tlb.fill(7, Translation{1, false});
+    tlb.lookup(7, 3);
+    tlb.lookup(7, 8);
+    auto res = tlb.lookup(7, 5);
+    ASSERT_EQ(res.historyUsed, 2u);
+    EXPECT_EQ(res.history[0], 8);
+    EXPECT_EQ(res.history[1], 3);
+}
+
+TEST(Tlb, FlushReportsEveryEntryToEvictionListener)
+{
+    // A shootdown flush discards entries exactly like capacity
+    // evictions, so TCWS victim tagging must hear about each one
+    // with its allocating warp.
+    TlbConfig cfg;
+    cfg.entries = 8;
+    cfg.ways = 4;
+    Tlb tlb(cfg);
+    std::vector<std::pair<Vpn, int>> evicted;
+    tlb.setEvictionListener(
+        [&](Vpn v, int w) { evicted.emplace_back(v, w); });
+    tlb.fill(1, Translation{10, false}, 5);
+    tlb.fill(2, Translation{20, false}, 6);
+    tlb.fill(3, Translation{30, true}, 7);
+    tlb.flush();
+    ASSERT_EQ(evicted.size(), 3u);
+    for (const auto &[v, w] : evicted) {
+        EXPECT_TRUE(v >= 1 && v <= 3);
+        EXPECT_EQ(w, static_cast<int>(v) + 4);
+        EXPECT_FALSE(tlb.probe(v));
+    }
+    // A second flush of the now-empty array reports nothing.
+    tlb.flush();
+    EXPECT_EQ(evicted.size(), 3u);
+    EXPECT_EQ(tlb.flushes(), 2u);
+}
+
 TEST(Tlb, ProbeIsNonMutating)
 {
     TlbConfig cfg;
