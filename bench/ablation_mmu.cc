@@ -61,6 +61,6 @@ main(int argc, char **argv)
                  "bounded walk priority costs the divergent "
                  "benchmarks heavily; doubling the walker port "
                  "interval costs batch-heavy workloads.\n";
-    benchutil::maybeTraceRun(opt, aug);
+    benchutil::maybeObserveRun(opt, aug);
     return 0;
 }

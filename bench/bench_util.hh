@@ -17,6 +17,14 @@
  *   --trace-filter=<pfx>   restrict the trace to categories whose
  *                          name starts with <pfx> (tlb, ptw,
  *                          coalescer, l1, l2, l2tlb, dram, core)
+ *   --sample-interval=<n>  telemetry sampling interval in cycles for
+ *                          the re-run point (enables telemetry)
+ *   --sample-out=<file>    write the interval series to <file>; the
+ *                          extension picks the format (.csv or .json)
+ *   --report=<file>        write a self-contained HTML run report
+ *
+ * Telemetry and tracing are both observation-only re-runs of one
+ * point after the sweep; arming them never changes any table number.
  */
 
 #ifndef BENCH_BENCH_UTIL_HH
@@ -31,6 +39,8 @@
 #include "core/experiment.hh"
 #include "core/presets.hh"
 #include "core/sweep.hh"
+#include "telemetry/report.hh"
+#include "telemetry/telemetry.hh"
 #include "trace/trace.hh"
 
 namespace gpummu {
@@ -46,6 +56,12 @@ struct Options
     std::string traceFile;
     /** Category-name prefix filter for the traced run. */
     std::string traceFilter;
+    /** Telemetry sampling interval in cycles; 0 disables telemetry. */
+    Cycle sampleInterval = 0;
+    /** Interval-series output path (.csv or .json). */
+    std::string sampleOut;
+    /** HTML run-report output path. */
+    std::string reportFile;
 };
 
 inline Options
@@ -81,6 +97,41 @@ parse(int argc, char **argv, double default_scale = 0.25)
             }
         } else if (const char *v = value("--trace-filter")) {
             opt.traceFilter = v;
+            if (!traceFilterMatchesAny(opt.traceFilter)) {
+                std::cerr << "--trace-filter=" << v
+                          << " matches no category; valid: "
+                          << traceCatNames() << "\n";
+                std::exit(1);
+            }
+        } else if (const char *v = value("--sample-interval")) {
+            const long long n = std::atoll(v);
+            if (n <= 0) {
+                std::cerr
+                    << "--sample-interval wants a positive cycle "
+                       "count\n";
+                std::exit(1);
+            }
+            opt.sampleInterval = static_cast<Cycle>(n);
+        } else if (const char *v = value("--sample-out")) {
+            opt.sampleOut = v;
+            const std::string &p = opt.sampleOut;
+            auto ends = [&p](const char *suf) {
+                const std::string s = suf;
+                return p.size() >= s.size() &&
+                       p.compare(p.size() - s.size(), s.size(), s) ==
+                           0;
+            };
+            if (p.empty() || (!ends(".csv") && !ends(".json"))) {
+                std::cerr << "--sample-out wants a .csv or .json "
+                             "path\n";
+                std::exit(1);
+            }
+        } else if (const char *v = value("--report")) {
+            opt.reportFile = v;
+            if (opt.reportFile.empty()) {
+                std::cerr << "--report wants an output path\n";
+                std::exit(1);
+            }
         } else if (const char *v = value("--bench")) {
             opt.benchmarks.clear();
             for (BenchmarkId id : allBenchmarks()) {
@@ -95,6 +146,18 @@ parse(int argc, char **argv, double default_scale = 0.25)
             std::cerr << "unknown option: " << arg << "\n";
             std::exit(1);
         }
+    }
+    if (opt.sampleInterval == 0 &&
+        (!opt.sampleOut.empty() || !opt.reportFile.empty())) {
+        std::cerr << "--sample-out/--report need "
+                     "--sample-interval=<cycles>\n";
+        std::exit(1);
+    }
+    if (opt.sampleInterval != 0 && opt.sampleOut.empty() &&
+        opt.reportFile.empty()) {
+        std::cerr << "--sample-interval needs --sample-out=<file> "
+                     "and/or --report=<file>\n";
+        std::exit(1);
     }
     return opt;
 }
@@ -145,6 +208,66 @@ maybeTraceRun(const Options &opt, const SystemConfig &cfg)
               << sink.dropped() << " dropped) -> " << opt.traceFile
               << " [" << benchmarkName(bench) << " / " << cfg.name
               << "]\n";
+}
+
+/**
+ * Honor --sample-interval / --sample-out / --report: re-simulate one
+ * (benchmark, config) point with telemetry armed and export the
+ * interval series (CSV or JSON by extension) and/or the HTML run
+ * report. Telemetry belongs to exactly one run, so like tracing this
+ * is a separate simulation after the sweep; armed and unarmed runs
+ * are bit-identical, so the table numbers above are untouched.
+ */
+inline void
+maybeTelemetryRun(const Options &opt, const SystemConfig &cfg)
+{
+    if (opt.sampleInterval == 0)
+        return;
+    TelemetryConfig tcfg;
+    tcfg.sampleInterval = opt.sampleInterval;
+    Telemetry telemetry(tcfg);
+    const BenchmarkId bench = opt.benchmarks.front();
+    runConfigFull(bench, cfg, opt.params, nullptr, &telemetry);
+    if (!opt.sampleOut.empty()) {
+        const bool csv =
+            opt.sampleOut.size() >= 4 &&
+            opt.sampleOut.compare(opt.sampleOut.size() - 4, 4,
+                                  ".csv") == 0;
+        const bool ok = csv
+                            ? telemetry.writeCsvFile(opt.sampleOut)
+                            : telemetry.writeJsonFile(opt.sampleOut);
+        if (!ok) {
+            std::cerr << "failed to write samples: " << opt.sampleOut
+                      << "\n";
+            std::exit(1);
+        }
+        std::cerr << "telemetry: "
+                  << telemetry.sampler().intervals().size()
+                  << " intervals -> " << opt.sampleOut << " ["
+                  << benchmarkName(bench) << " / " << cfg.name
+                  << "]\n";
+    }
+    if (!opt.reportFile.empty()) {
+        if (!writeHtmlReportFile(opt.reportFile, telemetry)) {
+            std::cerr << "report has an empty hot-page table (no "
+                         "walks attributed): "
+                      << opt.reportFile << "\n";
+            std::exit(1);
+        }
+        std::cerr << "report: " << telemetry.heat().pages().size()
+                  << " pages, " << telemetry.heat().lines().size()
+                  << " page-table lines -> " << opt.reportFile
+                  << "\n";
+    }
+}
+
+/** Run every requested post-sweep observation of @p cfg (trace,
+ *  telemetry); each is its own armed re-simulation. */
+inline void
+maybeObserveRun(const Options &opt, const SystemConfig &cfg)
+{
+    maybeTraceRun(opt, cfg);
+    maybeTelemetryRun(opt, cfg);
 }
 
 /** Geometric mean helper for "average speedup" rows. */

@@ -51,6 +51,6 @@ main(int argc, char **argv)
                  "(synonyms, context switches, coherence) are why the "
                  "per-core design wins even where raw performance "
                  "is close.\n";
-    benchutil::maybeTraceRun(opt, io);
+    benchutil::maybeObserveRun(opt, io);
     return 0;
 }

@@ -99,7 +99,7 @@ main(int argc, char **argv)
                         "non-increasing with L2 capacity: OK\n"
                       : "walker refs_issued NOT monotonic - see "
                         "violations above\n");
-    benchutil::maybeTraceRun(
+    benchutil::maybeObserveRun(
         opt, presets::withSharedL2Tlb(aug, kEntries.back(),
                                       kPorts.back()));
     return monotonic ? 0 : 1;

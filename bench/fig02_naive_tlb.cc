@@ -56,6 +56,6 @@ main(int argc, char **argv)
               << "\npaper shape: every naive-TLB value < 1 "
                  "(20-50%+ degradation); CCWS/TBC columns drop "
                  "substantially when naive TLBs are added.\n";
-    benchutil::maybeTraceRun(opt, naive);
+    benchutil::maybeObserveRun(opt, naive);
     return 0;
 }

@@ -43,6 +43,6 @@ main(int argc, char **argv)
     std::cout << "\npaper shape: mem refs under 25%; TLB miss rates "
                  "22-70%;\n  bfs avg divergence > 4, mummergpu > 8; "
                  "max divergence near 32.\n";
-    benchutil::maybeTraceRun(opt, naive);
+    benchutil::maybeObserveRun(opt, naive);
     return 0;
 }

@@ -38,6 +38,6 @@ main(int argc, char **argv)
     table.print(std::cout);
     std::cout << "\npaper shape: TLB miss penalties are roughly twice "
                  "L1 miss penalties.\n";
-    benchutil::maybeTraceRun(opt, naive);
+    benchutil::maybeObserveRun(opt, naive);
     return 0;
 }

@@ -60,6 +60,6 @@ main(int argc, char **argv)
                  "times; 3->4 ports recovers most port loss; the "
                  "ideal-latency column shows what the penalties "
                  "forfeit beyond 128 entries.\n";
-    benchutil::maybeTraceRun(opt, presets::naiveTlbSized(128, 4));
+    benchutil::maybeObserveRun(opt, presets::naiveTlbSized(128, 4));
     return 0;
 }

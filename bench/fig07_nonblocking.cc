@@ -43,6 +43,6 @@ main(int argc, char **argv)
     std::cout << "\npaper shape: each feature adds performance; "
                  "overlapped cache access brings several benchmarks "
                  "close to the impractical ideal.\n";
-    benchutil::maybeTraceRun(opt, ovl);
+    benchutil::maybeObserveRun(opt, ovl);
     return 0;
 }

@@ -55,6 +55,6 @@ main(int argc, char **argv)
     table.print(std::cout);
     std::cout << "\npaper shape: +ptw-sched approaches the ideal "
                  "column; 10-20% of walk references eliminated.\n";
-    benchutil::maybeTraceRun(opt, aug);
+    benchutil::maybeObserveRun(opt, aug);
     return 0;
 }

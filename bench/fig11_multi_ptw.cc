@@ -39,6 +39,6 @@ main(int argc, char **argv)
     table.print(std::cout);
     std::cout << "\npaper shape: the augmented single PTW beats the "
                  "8-walker naive design.\n";
-    benchutil::maybeTraceRun(opt, aug);
+    benchutil::maybeObserveRun(opt, aug);
     return 0;
 }

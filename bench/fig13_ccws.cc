@@ -56,6 +56,6 @@ main(int argc, char **argv)
                  "ccws(no-tlb); CCWS's locality throttling also cuts "
                  "the TLB miss rate (last column) - the hook the "
                  "TLB-aware variants exploit.\n";
-    benchutil::maybeTraceRun(opt, ccws_aug);
+    benchutil::maybeObserveRun(opt, ccws_aug);
     return 0;
 }

@@ -46,6 +46,6 @@ main(int argc, char **argv)
     table.print(std::cout);
     std::cout << "\npaper shape: weighting TLB-missing references "
                  "more heavily closes the gap to ccws(no-tlb).\n";
-    benchutil::maybeTraceRun(opt, ccws_aug);
+    benchutil::maybeObserveRun(opt, ccws_aug);
     return 0;
 }

@@ -45,6 +45,6 @@ main(int argc, char **argv)
     table.print(std::cout);
     std::cout << "\npaper shape: ~8 entries per warp does best and "
                  "competes with TA-CCWS using half the hardware.\n";
-    benchutil::maybeTraceRun(opt, ta4);
+    benchutil::maybeObserveRun(opt, ta4);
     return 0;
 }

@@ -54,6 +54,6 @@ main(int argc, char **argv)
     table.print(std::cout);
     std::cout << "\npaper shape: LRU(1,2,4,8) typically best, within "
                  "1-15% of ccws(no-tlb).\n";
-    benchutil::maybeTraceRun(opt, plain);
+    benchutil::maybeObserveRun(opt, plain);
     return 0;
 }

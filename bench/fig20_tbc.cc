@@ -52,6 +52,6 @@ main(int argc, char **argv)
                  ">20%; TBC raises page divergence by 2-4 (last two "
                  "columns); augmented without TBC beats augmented "
                  "with TBC.\n";
-    benchutil::maybeTraceRun(opt, tbc_aug);
+    benchutil::maybeObserveRun(opt, tbc_aug);
     return 0;
 }

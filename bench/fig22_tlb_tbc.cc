@@ -55,6 +55,6 @@ main(int argc, char **argv)
                  "divergence blind compaction added (last two "
                  "columns) and recovers most of the lost "
                  "performance; more counter bits help.\n";
-    benchutil::maybeTraceRun(opt, tbc_aug);
+    benchutil::maybeObserveRun(opt, tbc_aug);
     return 0;
 }

@@ -51,6 +51,6 @@ main(int argc, char **argv)
                  "retain residual divergence (their accesses span "
                  "several 2MB regions).\n";
     (void)aug_small;
-    benchutil::maybeTraceRun(opt, aug_large);
+    benchutil::maybeObserveRun(opt, aug_large);
     return 0;
 }

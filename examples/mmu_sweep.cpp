@@ -12,6 +12,8 @@
  *
  * Usage: mmu_sweep [benchmark] [scale] [jobs]
  *                  [--trace=<file>] [--trace-filter=<prefix>]
+ *                  [--sample-interval=<cycles>] [--sample-out=<file>]
+ *                  [--report=<file>]
  *        (jobs defaults to GPUMMU_JOBS, else all hardware threads)
  *
  * With --trace=<file>, one extra run of the augmented design point is
@@ -20,6 +22,13 @@
  * chrome://tracing). --trace-filter restricts recording to categories
  * whose name starts with the prefix (tlb, ptw, coalescer, l1, l2,
  * dram, core).
+ *
+ * With --sample-interval=<n>, the augmented design point is re-run
+ * with telemetry armed: --sample-out writes the per-interval counter
+ * series (.csv or .json by extension) and --report writes a
+ * self-contained HTML run report with interval charts, the stall
+ * breakdown and the hot-page / hot-PTE-line tables. Both observation
+ * layers never change simulated results.
  */
 
 #include <iostream>
@@ -29,6 +38,8 @@
 #include "core/experiment.hh"
 #include "core/presets.hh"
 #include "core/sweep.hh"
+#include "telemetry/report.hh"
+#include "telemetry/telemetry.hh"
 #include "trace/trace.hh"
 
 using namespace gpummu;
@@ -37,7 +48,8 @@ int
 main(int argc, char **argv)
 {
     // Flags can appear anywhere; positionals keep their order.
-    std::string trace_file, trace_filter;
+    std::string trace_file, trace_filter, sample_out, report_file;
+    Cycle sample_interval = 0;
     std::vector<std::string> pos;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -45,15 +57,59 @@ main(int argc, char **argv)
             trace_file = arg.substr(8);
         } else if (arg.rfind("--trace-filter=", 0) == 0) {
             trace_filter = arg.substr(15);
+            if (!traceFilterMatchesAny(trace_filter)) {
+                std::cerr << "--trace-filter=" << trace_filter
+                          << " matches no category; valid: "
+                          << traceCatNames() << "\n";
+                return 2;
+            }
+        } else if (arg.rfind("--sample-interval=", 0) == 0) {
+            const long long n = std::atoll(arg.c_str() + 18);
+            if (n <= 0) {
+                std::cerr << "--sample-interval wants a positive "
+                             "cycle count\n";
+                return 2;
+            }
+            sample_interval = static_cast<Cycle>(n);
+        } else if (arg.rfind("--sample-out=", 0) == 0) {
+            sample_out = arg.substr(13);
+            const auto dot = sample_out.rfind('.');
+            const std::string ext =
+                dot == std::string::npos ? "" : sample_out.substr(dot);
+            if (ext != ".csv" && ext != ".json") {
+                std::cerr
+                    << "--sample-out wants a .csv or .json path\n";
+                return 2;
+            }
+        } else if (arg.rfind("--report=", 0) == 0) {
+            report_file = arg.substr(9);
+            if (report_file.empty()) {
+                std::cerr << "--report wants an output path\n";
+                return 2;
+            }
         } else if (arg.rfind("--", 0) == 0) {
             std::cerr << "unknown option: " << arg
                       << "\nusage: mmu_sweep [benchmark] [scale] "
                          "[jobs] [--trace=<file>] "
-                         "[--trace-filter=<prefix>]\n";
+                         "[--trace-filter=<prefix>] "
+                         "[--sample-interval=<cycles>] "
+                         "[--sample-out=<file>] [--report=<file>]\n";
             return 2;
         } else {
             pos.push_back(arg);
         }
+    }
+    if (sample_interval == 0 &&
+        (!sample_out.empty() || !report_file.empty())) {
+        std::cerr << "--sample-out/--report need "
+                     "--sample-interval=<cycles>\n";
+        return 2;
+    }
+    if (sample_interval != 0 && sample_out.empty() &&
+        report_file.empty()) {
+        std::cerr << "--sample-interval needs --sample-out=<file> "
+                     "and/or --report=<file>\n";
+        return 2;
     }
 
     std::string name = pos.size() > 0 ? pos[0] : "bfs";
@@ -129,6 +185,48 @@ main(int argc, char **argv)
         std::cout << "\ntrace: " << sink.size() << " events ("
                   << sink.dropped() << " dropped) -> " << trace_file
                   << " [" << name << " / " << traced.name << "]\n";
+    }
+
+    // Telemetry likewise belongs to one run: sample the augmented
+    // design point in a separate armed simulation.
+    if (sample_interval != 0) {
+        TelemetryConfig tcfg;
+        tcfg.sampleInterval = sample_interval;
+        Telemetry telemetry(tcfg);
+        const SystemConfig sampled = presets::augmentedTlb();
+        runConfigFull(bench, sampled, params, nullptr, &telemetry);
+        if (!sample_out.empty()) {
+            const bool csv =
+                sample_out.size() >= 4 &&
+                sample_out.compare(sample_out.size() - 4, 4,
+                                   ".csv") == 0;
+            const bool ok =
+                csv ? telemetry.writeCsvFile(sample_out)
+                    : telemetry.writeJsonFile(sample_out);
+            if (!ok) {
+                std::cerr << "failed to write samples: "
+                          << sample_out << "\n";
+                return 1;
+            }
+            std::cout << "telemetry: "
+                      << telemetry.sampler().intervals().size()
+                      << " intervals -> " << sample_out << " ["
+                      << name << " / " << sampled.name << "]\n";
+        }
+        if (!report_file.empty()) {
+            if (!writeHtmlReportFile(report_file, telemetry)) {
+                std::cerr << "report has an empty hot-page table "
+                             "(no walks attributed): "
+                          << report_file << "\n";
+                return 1;
+            }
+            std::cout << "report: "
+                      << telemetry.heat().pages().size()
+                      << " pages, "
+                      << telemetry.heat().lines().size()
+                      << " page-table lines -> " << report_file
+                      << "\n";
+        }
     }
     return 0;
 }

@@ -7,6 +7,8 @@
 #include "sched/ccws.hh"
 #include "sim/logging.hh"
 #include "tbc/tbc_core.hh"
+#include "telemetry/telemetry.hh"
+#include "trace/trace.hh"
 
 namespace gpummu {
 
@@ -77,8 +79,11 @@ finishRun(GpuTop &gpu, BenchmarkId bench, const SystemConfig &cfg)
 
 RunOutput
 runConfigFull(BenchmarkId bench, const SystemConfig &cfg_in,
-              const WorkloadParams &params, TraceSink *trace)
+              const WorkloadParams &params, TraceSink *trace,
+              Telemetry *telemetry)
 {
+    if (telemetry != nullptr)
+        telemetry->setMeta(benchmarkName(bench), cfg_in.name);
     // Fan the top-level checker switch out to every translation unit
     // of the run before any core is built.
     SystemConfig cfg = cfg_in;
@@ -124,11 +129,15 @@ runConfigFull(BenchmarkId bench, const SystemConfig &cfg_in,
             (*l2_holder)->regStats(gpu.stats(), "l2tlb");
         if (trace != nullptr) {
             gpu.setTraceSink(trace);
+            trace->regStats(gpu.stats(), "trace");
             // The shared L2 TLB is not a per-core component; arm it
             // directly (tid -1 marks the GPU-wide instance).
             if (l2_holder && *l2_holder)
                 (*l2_holder)->setTraceSink(trace, -1);
         }
+        // After the trace stats so an armed sampler sees them too.
+        if (telemetry != nullptr)
+            gpu.setTelemetry(telemetry);
         RunOutput out = finishRun(gpu, bench, cfg);
         // The shared L2 TLB is not reached by GpuTop's per-core
         // sweep, so its MSHR drain invariants are verified here.
@@ -165,10 +174,18 @@ runConfigFull(BenchmarkId bench, const SystemConfig &cfg_in,
         (*iommu_holder)->regStats(gpu.stats(), "iommu");
     if (trace != nullptr) {
         gpu.setTraceSink(trace);
+        trace->regStats(gpu.stats(), "trace");
         // The shared IOMMU is not a per-core component; arm it
         // directly (tid -1 marks the GPU-wide instance).
         if (*iommu_holder)
             (*iommu_holder)->setTraceSink(trace, -1);
+    }
+    if (telemetry != nullptr) {
+        gpu.setTelemetry(telemetry);
+        // The shared IOMMU's walkers are not reached by GpuTop's
+        // per-core distribution; arm them directly (tid -1).
+        if (*iommu_holder)
+            (*iommu_holder)->setHeatProfiler(&telemetry->heat(), -1);
     }
     RunOutput out = finishRun(gpu, bench, cfg);
     // The shared IOMMU is not reached by GpuTop's per-core sweep, so

@@ -29,6 +29,7 @@
 
 namespace gpummu {
 
+class Telemetry;
 class TraceSink;
 
 /**
@@ -48,14 +49,19 @@ RunStats runConfig(BenchmarkId bench, const SystemConfig &cfg,
                    const WorkloadParams &params);
 
 /**
- * As runConfig, but also capture the JSON stat dump. @p trace, when
- * non-null, is armed on the run's GpuTop before the cycle loop
- * (observation-only; the sink must outlive the call and belongs to
- * exactly this run — sweeps passing a sink must not share it).
+ * As runConfig, but also capture the JSON stat dump. @p trace and
+ * @p telemetry, when non-null, are armed on the run's GpuTop before
+ * the cycle loop (observation-only; both must outlive the call and
+ * belong to exactly this run — sweeps passing either must not share
+ * it). An armed trace sink additionally registers its health stats
+ * ("trace.*") in the run's registry; an armed telemetry never touches
+ * the registry, so its stat dump stays bit-identical to an unarmed
+ * run's.
  */
 RunOutput runConfigFull(BenchmarkId bench, const SystemConfig &cfg,
                         const WorkloadParams &params,
-                        TraceSink *trace = nullptr);
+                        TraceSink *trace = nullptr,
+                        Telemetry *telemetry = nullptr);
 
 /**
  * Convenience harness for the benches: caches the no-TLB baseline

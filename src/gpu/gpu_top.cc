@@ -6,6 +6,7 @@
 #include "mem/l1_cache.hh"
 #include "mmu/mmu.hh"
 #include "sim/logging.hh"
+#include "telemetry/telemetry.hh"
 #include "trace/trace.hh"
 
 namespace gpummu {
@@ -68,6 +69,18 @@ GpuTop::setTraceSink(TraceSink *sink)
 }
 
 void
+GpuTop::setTelemetry(Telemetry *telemetry)
+{
+    telemetry_ = telemetry;
+    if (telemetry_ != nullptr)
+        telemetry_->begin(stats_);
+    HeatProfiler *heat =
+        telemetry_ != nullptr ? &telemetry_->heat() : nullptr;
+    for (auto &core : cores_)
+        core->setHeatProfiler(heat);
+}
+
+void
 GpuTop::dispatchBlocks()
 {
     // Breadth-first: one block per core per round, so occupancy
@@ -104,6 +117,8 @@ GpuTop::run(Cycle max_cycles)
             eq_.empty()) {
             break;
         }
+        if (telemetry_ != nullptr)
+            telemetry_->tick(cycle);
         ++cycle;
         if (cycle > max_cycles) {
             GPUMMU_FATAL("simulation exceeded ", max_cycles,
@@ -124,6 +139,11 @@ GpuTop::run(Cycle max_cycles)
     // before anyone dumps the registry.
     for (auto &core : cores_)
         core->finalizeRun();
+
+    // Telemetry closes its tail interval and snapshots the stall
+    // totals only after the ledgers above are folded.
+    if (telemetry_ != nullptr)
+        telemetry_->finish(cycle, stats_);
 
     RunStats out;
     out.cycles = cycle;

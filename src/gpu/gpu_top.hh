@@ -22,6 +22,8 @@
 
 namespace gpummu {
 
+class Telemetry;
+
 /** Aggregate results of one simulation. */
 struct RunStats
 {
@@ -117,6 +119,16 @@ class GpuTop
     void setTraceSink(TraceSink *sink);
 
     /**
+     * Arm run telemetry (observation-only): binds the interval
+     * sampler to this run's stat registry, distributes the heat
+     * profiler to every core's walker pool and memory stage, and
+     * makes the cycle loop drive interval boundaries. Call before
+     * run(); pass nullptr to detach. run() finalizes the telemetry
+     * (tail interval + stall snapshot) before returning.
+     */
+    void setTelemetry(Telemetry *telemetry);
+
+    /**
      * Run the kernel grid to completion.
      * @param max_cycles deadlock guard; fatal when exceeded.
      */
@@ -141,6 +153,7 @@ class GpuTop
     LaunchParams launch_;
     std::vector<std::unique_ptr<ShaderCore>> cores_;
     StatRegistry stats_;
+    Telemetry *telemetry_ = nullptr;
     unsigned nextBlock_ = 0;
 };
 

@@ -5,6 +5,7 @@
 #include "mem/request.hh"
 #include "mmu/l2_tlb.hh"
 #include "sim/logging.hh"
+#include "telemetry/telemetry.hh"
 #include "trace/trace.hh"
 
 namespace gpummu {
@@ -73,6 +74,8 @@ MemoryStage::issue(int warp_id, bool is_store,
         memInstrs_.inc();
         pageDivergence_.sample(acc.pageDivergence());
         linesPerInstr_.sample(acc.totalLines);
+        if (heat_)
+            heat_->onPageDivergence(acc.pageDivergence());
         Cycle ready = now + 1;
         for (const auto &pg : acc.pages) {
             for (std::uint64_t vline : pg.vlines) {
@@ -108,6 +111,8 @@ MemoryStage::issue(int warp_id, bool is_store,
     memInstrs_.inc();
     pageDivergence_.sample(acc.pageDivergence());
     linesPerInstr_.sample(acc.totalLines);
+    if (heat_)
+        heat_->onPageDivergence(acc.pageDivergence());
 
     // --- Real TLB lookup for the coalesced PTE set. ---
     std::vector<Vpn> vpns;
@@ -291,6 +296,8 @@ MemoryStage::issueIommu(int warp_id, bool is_store,
     memInstrs_.inc();
     pageDivergence_.sample(acc.pageDivergence());
     linesPerInstr_.sample(acc.totalLines);
+    if (heat_)
+        heat_->onPageDivergence(acc.pageDivergence());
 
     // Virtually addressed L1: lines are looked up by virtual line id
     // (the virtual->physical bijection makes the hit/miss pattern

@@ -37,6 +37,7 @@
 
 namespace gpummu {
 
+class HeatProfiler;
 class TraceSink;
 
 enum class MemIssueResult
@@ -99,6 +100,10 @@ class MemoryStage
         traceTid_ = tid;
     }
 
+    /** Attach a translation heat profiler (feeds its per-interval
+     *  page-divergence series). */
+    void setHeatProfiler(HeatProfiler *heat) { heat_ = heat; }
+
     /**
      * Dominant stall cause of the most recently issued instruction
      * (valid right after issue() returns Issued). The core snapshots
@@ -131,6 +136,7 @@ class MemoryStage
     TlbHitHistoryFn onTlbHitHistory_;
     TraceSink *trace_ = nullptr;
     int traceTid_ = 0;
+    HeatProfiler *heat_ = nullptr;
     StallReason lastIssueReason_ = StallReason::None;
 
     Counter memInstrs_;

@@ -17,6 +17,7 @@
 
 namespace gpummu {
 
+class HeatProfiler;
 class Mmu;
 class L1Cache;
 class MemoryStage;
@@ -39,6 +40,10 @@ class ShaderCore
 
     /** Attach an event trace sink to this core's components. */
     virtual void setTraceSink(TraceSink *sink) { (void)sink; }
+
+    /** Attach a translation heat profiler to this core's walker pool
+     *  and memory stage (observation-only, may be null). */
+    virtual void setHeatProfiler(HeatProfiler *heat) { (void)heat; }
 
     /** End-of-run bookkeeping before stats are dumped (folds the
      *  per-warp stall ledger into its histograms). */

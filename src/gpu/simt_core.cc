@@ -47,6 +47,13 @@ SimtCore::setTraceSink(TraceSink *sink)
     memStage_.setTraceSink(sink, coreId_);
 }
 
+void
+SimtCore::setHeatProfiler(HeatProfiler *heat)
+{
+    mmu_.setHeatProfiler(heat, coreId_);
+    memStage_.setHeatProfiler(heat);
+}
+
 unsigned
 SimtCore::warpsPerBlock() const
 {

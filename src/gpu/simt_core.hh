@@ -96,6 +96,7 @@ class SimtCore : public ShaderCore
     MemoryStage &memStage() override { return memStage_; }
 
     void setTraceSink(TraceSink *sink) override;
+    void setHeatProfiler(HeatProfiler *heat) override;
     WarpStallAccounting &stallAccounting() override { return stalls_; }
 
     void regStats(StatRegistry &reg,

@@ -83,6 +83,14 @@ class Iommu
         walkers_.setTraceSink(sink, tid);
     }
 
+    /** Attach a translation heat profiler to the shared walkers
+     *  (tid -1: references are GPU-wide, not per core). */
+    void
+    setHeatProfiler(HeatProfiler *heat, int tid)
+    {
+        walkers_.setHeatProfiler(heat, tid);
+    }
+
     void regStats(StatRegistry &reg, const std::string &prefix);
 
     std::uint64_t lookups() const { return tlb_.accesses(); }

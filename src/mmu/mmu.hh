@@ -218,6 +218,14 @@ class Mmu
         walkers_.setTraceSink(sink, tid);
     }
 
+    /** Attach a translation heat profiler to the walker pool;
+     *  @p tid labels this core in sharer masks. */
+    void
+    setHeatProfiler(HeatProfiler *heat, int tid)
+    {
+        walkers_.setHeatProfiler(heat, tid);
+    }
+
     void regStats(StatRegistry &reg, const std::string &prefix);
 
     /** Full TLB-miss service time distribution (Fig. 4). */

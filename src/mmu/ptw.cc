@@ -6,6 +6,7 @@
 #include "check/invariant_checker.hh"
 #include "mem/request.hh"
 #include "sim/logging.hh"
+#include "telemetry/telemetry.hh"
 #include "trace/trace.hh"
 
 namespace gpummu {
@@ -22,7 +23,7 @@ PageWalkers::PageWalkers(const PtwConfig &cfg, const PageTable &pt,
 }
 
 Cycle
-PageWalkers::walkRef(PhysAddr line_addr, Cycle at)
+PageWalkers::walkRef(PhysAddr line_addr, unsigned level, Cycle at)
 {
     // All walkers share one issue port into the memory system.
     const Cycle issue = std::max(at, portFreeAt_);
@@ -37,6 +38,9 @@ PageWalkers::walkRef(PhysAddr line_addr, Cycle at)
         auto res = pwc_.lookup(line_addr);
         if (res.hit) {
             pwcHits_.inc();
+            if (heat_)
+                heat_->onWalkRef(line_addr, level, heatTid_,
+                                 HeatProfiler::RefWhere::Pwc);
             // The line enters the cache when its fetch is *issued*,
             // so a hit may land while the fill is still in flight
             // from memory; such a hit cannot complete before the
@@ -46,6 +50,10 @@ PageWalkers::walkRef(PhysAddr line_addr, Cycle at)
     }
     auto out =
         mem_.access(line_addr, false, issue, AccessSource::PageWalk);
+    if (heat_)
+        heat_->onWalkRef(line_addr, level, heatTid_,
+                         out.dram ? HeatProfiler::RefWhere::Dram
+                                  : HeatProfiler::RefWhere::L2);
     if (cfg_.pwcLines > 0)
         pwc_.insert(line_addr, out.readyAt);
     return out.readyAt;
@@ -188,15 +196,20 @@ PageWalkers::stepLevel(unsigned w, std::shared_ptr<ActiveBatch> batch,
         pump(now);
         return;
     }
+    const unsigned level_idx =
+        static_cast<unsigned>(batch->nextLevel);
     const auto &level = batch->levels[batch->nextLevel++];
     Cycle level_end = now;
     for (const BatchRef &ref : level) {
-        const Cycle ready = walkRef(ref.line, now);
+        const Cycle ready = walkRef(ref.line, level_idx, now);
         level_end = std::max(level_end, ready);
         for (std::size_t idx : ref.finishing) {
             const PendingWalk &walk = batch->walks[idx];
             walks_.inc();
             walkLatency_.sample(ready - walk.enqueued);
+            if (heat_)
+                heat_->onWalkComplete(walk.vpn, heatTid_,
+                                      walk.enqueued, ready);
             eq_.schedule(ready, [this, vpn = walk.vpn,
                                  done = walk.done, ready,
                                  enq = walk.enqueued]() {

@@ -33,6 +33,7 @@
 
 namespace gpummu {
 
+class HeatProfiler;
 class InvariantChecker;
 class TraceSink;
 
@@ -99,6 +100,15 @@ class PageWalkers
     {
         trace_ = sink;
         traceTid_ = tid;
+    }
+
+    /** Attach a translation heat profiler; @p tid labels this
+     *  instance in sharer masks (-1 for GPU-wide pools). */
+    void
+    setHeatProfiler(HeatProfiler *heat, int tid)
+    {
+        heat_ = heat;
+        heatTid_ = tid;
     }
 
     /**
@@ -172,9 +182,10 @@ class PageWalkers
     void stepLevel(unsigned w, std::shared_ptr<ActiveBatch> batch,
                    Cycle now);
 
-    /** One page-table reference, checking the walk cache first.
+    /** One page-table reference at radix @p level, checking the walk
+     *  cache first.
      *  @return the cycle the referenced entry is available. */
-    Cycle walkRef(PhysAddr line_addr, Cycle at);
+    Cycle walkRef(PhysAddr line_addr, unsigned level, Cycle at);
 
     /** Dispatch queued work onto free walkers / the batch engine. */
     void pump(Cycle now);
@@ -186,6 +197,8 @@ class PageWalkers
     InvariantChecker *checker_ = nullptr;
     TraceSink *trace_ = nullptr;
     int traceTid_ = 0;
+    HeatProfiler *heat_ = nullptr;
+    int heatTid_ = 0;
 
     std::deque<PendingWalk> queue_;
     std::vector<bool> walkerBusy_;

@@ -1,6 +1,7 @@
 #include "sim/stats.hh"
 
 #include <algorithm>
+#include <bit>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
@@ -35,6 +36,49 @@ Histogram::sample(std::uint64_t v, std::uint64_t count)
             idx = buckets_.size() - 1;
         buckets_[idx] += count;
     }
+    logBuckets_[logBucketOf(v)] += count;
+}
+
+std::size_t
+Histogram::logBucketOf(std::uint64_t v)
+{
+    return static_cast<std::size_t>(std::bit_width(v));
+}
+
+double
+Histogram::percentile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double want = std::ceil(q * static_cast<double>(count_));
+    const std::uint64_t rank = std::min<std::uint64_t>(
+        std::max<std::uint64_t>(static_cast<std::uint64_t>(want), 1),
+        count_);
+    std::uint64_t below = 0;
+    for (std::size_t b = 0; b < logBuckets_.size(); ++b) {
+        const std::uint64_t n = logBuckets_[b];
+        if (n == 0)
+            continue;
+        if (below + n < rank) {
+            below += n;
+            continue;
+        }
+        // bucket b holds values with bit_width == b:
+        // b == 0 -> {0}, else [2^(b-1), 2^b - 1].
+        const double lo =
+            b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
+        const double hi =
+            b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b)) - 1.0;
+        const double frac =
+            n <= 1 ? 1.0
+                   : static_cast<double>(rank - below) /
+                         static_cast<double>(n);
+        double v = lo + frac * (hi - lo);
+        v = std::max(v, static_cast<double>(min_));
+        v = std::min(v, static_cast<double>(max_));
+        return v;
+    }
+    return static_cast<double>(max_);
 }
 
 double
@@ -52,6 +96,7 @@ Histogram::reset()
     min_ = 0;
     max_ = 0;
     std::fill(buckets_.begin(), buckets_.end(), 0);
+    logBuckets_.fill(0);
 }
 
 void
@@ -172,7 +217,37 @@ StatRegistry::dump(std::ostream &os) const
         os << name << ".mean " << h->mean() << "\n";
         os << name << ".min " << h->min() << "\n";
         os << name << ".max " << h->max() << "\n";
+        os << name << ".p50 " << h->percentile(0.50) << "\n";
+        os << name << ".p95 " << h->percentile(0.95) << "\n";
+        os << name << ".p99 " << h->percentile(0.99) << "\n";
     }
+}
+
+void
+StatRegistry::forEachCounter(
+    const std::function<void(const std::string &, const Counter &)>
+        &fn) const
+{
+    for (const auto &[name, c] : counters_)
+        fn(name, *c);
+}
+
+void
+StatRegistry::forEachScalar(
+    const std::function<void(const std::string &, const ScalarStat &)>
+        &fn) const
+{
+    for (const auto &[name, s] : scalars_)
+        fn(name, *s);
+}
+
+void
+StatRegistry::forEachHistogram(
+    const std::function<void(const std::string &, const Histogram &)>
+        &fn) const
+{
+    for (const auto &[name, h] : histograms_)
+        fn(name, *h);
 }
 
 void
@@ -199,7 +274,10 @@ StatRegistry::dumpJson(std::ostream &os) const
            << "\":{\"count\":" << h->count()
            << ",\"sum\":" << h->sum()
            << ",\"mean\":" << jsonNum(h->mean())
-           << ",\"min\":" << h->min() << ",\"max\":" << h->max();
+           << ",\"min\":" << h->min() << ",\"max\":" << h->max()
+           << ",\"p50\":" << jsonNum(h->percentile(0.50))
+           << ",\"p95\":" << jsonNum(h->percentile(0.95))
+           << ",\"p99\":" << jsonNum(h->percentile(0.99));
         if (h->bucketWidth() > 0) {
             os << ",\"bucket_width\":" << h->bucketWidth()
                << ",\"buckets\":[";

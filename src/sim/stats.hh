@@ -11,7 +11,9 @@
 #ifndef SIM_STATS_HH
 #define SIM_STATS_HH
 
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <ostream>
 #include <string>
@@ -77,11 +79,26 @@ class Histogram
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
     std::uint64_t bucketWidth() const { return bucketWidth_; }
 
+    /**
+     * Percentile estimate for @p q in (0, 1], from the always-on
+     * power-of-two distribution every sample also lands in: the
+     * sample of rank ceil(q * count) is located in its log2 bucket
+     * and linearly interpolated across the bucket's value range,
+     * clamped to [min, max]. Exact for single-valued buckets,
+     * deterministic always; 0 when the histogram is empty.
+     */
+    double percentile(double q) const;
+
     void reset();
 
   private:
+    /** Power-of-two bucket index of a sample value. */
+    static std::size_t logBucketOf(std::uint64_t v);
+
     std::uint64_t bucketWidth_;
     std::vector<std::uint64_t> buckets_;
+    /** logBuckets_[i] counts samples with bit_width(v) == i. */
+    std::array<std::uint64_t, 65> logBuckets_{};
     std::uint64_t count_ = 0;
     std::uint64_t sum_ = 0;
     std::uint64_t min_ = 0;
@@ -116,6 +133,21 @@ class StatRegistry
 
     /** Zero every registered statistic. */
     void resetAll();
+
+    /**
+     * Visit every registered stat in name order (the order dump and
+     * dumpJson use). Observation-only consumers (the telemetry
+     * sampler) snapshot through these without owning the registry.
+     */
+    void forEachCounter(
+        const std::function<void(const std::string &, const Counter &)>
+            &fn) const;
+    void forEachScalar(const std::function<void(const std::string &,
+                                                const ScalarStat &)>
+                           &fn) const;
+    void forEachHistogram(
+        const std::function<void(const std::string &,
+                                 const Histogram &)> &fn) const;
 
     /** Dump "name value" lines, sorted by name. */
     void dump(std::ostream &os) const;

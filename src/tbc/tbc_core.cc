@@ -57,6 +57,13 @@ TbcCore::setTraceSink(TraceSink *sink)
     memStage_.setTraceSink(sink, coreId_);
 }
 
+void
+TbcCore::setHeatProfiler(HeatProfiler *heat)
+{
+    mmu_.setHeatProfiler(heat, coreId_);
+    memStage_.setHeatProfiler(heat);
+}
+
 unsigned
 TbcCore::warpsPerBlock() const
 {

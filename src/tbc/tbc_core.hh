@@ -60,6 +60,7 @@ class TbcCore : public ShaderCore
     MemoryStage &memStage() override { return memStage_; }
 
     void setTraceSink(TraceSink *sink) override;
+    void setHeatProfiler(HeatProfiler *heat) override;
     WarpStallAccounting &stallAccounting() override { return stalls_; }
 
     std::uint64_t instructionsIssued() const override

@@ -1,0 +1,225 @@
+#include "telemetry/report.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "telemetry/telemetry.hh"
+
+namespace gpummu {
+
+namespace {
+
+/** Telemetry JSON made safe for an inline <script> block: "</" would
+ *  end the script element early, so emit it as the (equivalent) JSON
+ *  escape "<\/". Only occurs inside string values. */
+std::string
+scriptSafeJson(const Telemetry &t)
+{
+    std::ostringstream ss;
+    t.writeJson(ss);
+    std::string s = ss.str();
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '<' && i + 1 < s.size() && s[i + 1] == '/') {
+            out += "<\\/";
+            ++i;
+        } else {
+            out += s[i];
+        }
+    }
+    return out;
+}
+
+// The page shell. Everything that varies is in the embedded DATA
+// object; the script below renders from it, so the C++ side stays a
+// dumb serializer and the layout lives in one place.
+constexpr const char *kHead = R"html(<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>gpummu run report</title>
+<style>
+body{font:14px/1.45 system-ui,sans-serif;margin:24px;max-width:1100px;
+     color:#1a1a1a;background:#fff}
+h1{font-size:20px;margin:0 0 4px}
+h2{font-size:16px;margin:28px 0 8px;border-bottom:1px solid #ddd;
+   padding-bottom:4px}
+.meta{color:#555;margin-bottom:16px}
+table{border-collapse:collapse;margin:8px 0;font-variant-numeric:tabular-nums}
+th,td{border:1px solid #ccc;padding:3px 10px;text-align:right}
+th{background:#f2f2f2}
+td.k,th.k{text-align:left;font-family:ui-monospace,monospace}
+svg{background:#fafafa;border:1px solid #ddd}
+select{font:inherit;margin-bottom:6px}
+.bar{fill:#4878a8}.bar2{fill:#b04a4a}
+.axis{stroke:#999;stroke-width:1}
+.line{fill:none;stroke:#4878a8;stroke-width:1.5}
+.lbl{font-size:11px;fill:#555}
+.warn{color:#b04a4a;font-weight:600}
+</style></head><body>
+)html";
+
+constexpr const char *kScript = R"html(<script>
+"use strict";
+function fmt(n){return Number(n).toLocaleString("en-US");}
+function el(tag,attrs,parent){
+  var ns="http://www.w3.org/2000/svg";
+  var svgTags={svg:1,polyline:1,line:1,rect:1,text:1};
+  var e=svgTags[tag]?document.createElementNS(ns,tag)
+                    :document.createElement(tag);
+  for(var k in attrs)e.setAttribute(k,attrs[k]);
+  if(parent)parent.appendChild(e);
+  return e;
+}
+// Line chart of per-interval values.
+function lineChart(parent,xs,ys,yLabel){
+  var W=1040,H=220,L=70,B=24,T=10,R=10;
+  var svg=el("svg",{width:W,height:H},parent);
+  var ymax=Math.max(1,Math.max.apply(null,ys));
+  var xmax=Math.max(1,xs[xs.length-1]||1);
+  el("line",{x1:L,y1:H-B,x2:W-R,y2:H-B,"class":"axis"},svg);
+  el("line",{x1:L,y1:T,x2:L,y2:H-B,"class":"axis"},svg);
+  var pts=[];
+  for(var i=0;i<ys.length;i++){
+    var x=L+(W-L-R)*(xs[i]/xmax);
+    var y=(H-B)-(H-B-T)*(ys[i]/ymax);
+    pts.push(x.toFixed(1)+","+y.toFixed(1));
+  }
+  el("polyline",{points:pts.join(" "),"class":"line"},svg);
+  el("text",{x:L-6,y:T+10,"text-anchor":"end","class":"lbl"},svg)
+    .textContent=fmt(ymax);
+  el("text",{x:L-6,y:H-B,"text-anchor":"end","class":"lbl"},svg)
+    .textContent="0";
+  el("text",{x:W-R,y:H-6,"text-anchor":"end","class":"lbl"},svg)
+    .textContent=fmt(xmax)+" cycles";
+  el("text",{x:L+6,y:T+10,"class":"lbl"},svg).textContent=yLabel;
+}
+function render(){
+  var d=DATA;
+  document.getElementById("meta").textContent=
+    "benchmark "+d.meta.bench+" · config "+d.meta.config+
+    " · "+fmt(d.meta.run_cycles)+" cycles · interval "+
+    fmt(d.meta.sample_interval)+" cycles · "+
+    d.intervals.length+" intervals";
+  // Counter series with column selector.
+  var sel=document.getElementById("colsel");
+  d.columns.forEach(function(c,i){
+    var o=el("option",{value:i},sel);o.textContent=c;
+  });
+  var prefer=d.columns.indexOf("mem.dram.accesses");
+  sel.value=prefer>=0?prefer:0;
+  function drawCounter(){
+    var box=document.getElementById("counterchart");
+    box.innerHTML="";
+    var ci=+sel.value;
+    var xs=d.intervals.map(function(iv){return iv.end;});
+    var ys=d.intervals.map(function(iv){return iv.delta[ci];});
+    lineChart(box,xs,ys,d.columns[ci]+" / interval");
+  }
+  sel.onchange=drawCounter;drawCounter();
+  // Page divergence series (mean pages per warp memory instr).
+  var xs=d.intervals.map(function(iv){return iv.end;});
+  var ys=d.intervals.map(function(iv){
+    return iv.page_div.n?iv.page_div.sum/iv.page_div.n:0;});
+  lineChart(document.getElementById("divchart"),xs,ys,
+            "mean pages / warp mem instr");
+  // Stall breakdown.
+  var st=document.getElementById("stalls");
+  var reasons=Object.keys(d.stalls);
+  var total=reasons.reduce(function(a,r){
+    return a+d.stalls[r].cycles;},0);
+  reasons.sort(function(a,b){
+    return d.stalls[b].cycles-d.stalls[a].cycles||
+           (a<b?-1:1);});
+  reasons.forEach(function(r){
+    var tr=el("tr",{},st);
+    el("td",{"class":"k"},tr).textContent=r;
+    el("td",{},tr).textContent=fmt(d.stalls[r].warps);
+    el("td",{},tr).textContent=fmt(d.stalls[r].cycles);
+    el("td",{},tr).textContent=
+      total?(100*d.stalls[r].cycles/total).toFixed(1)+"%":"-";
+  });
+  // Heat tables.
+  var hp=document.getElementById("hotpages");
+  d.heat.top_pages.forEach(function(p){
+    var tr=el("tr",{},hp);
+    el("td",{"class":"k"},tr).textContent=
+      "0x"+p.vpn.toString(16);
+    el("td",{},tr).textContent=fmt(p.walks);
+    el("td",{},tr).textContent=fmt(p.walk_cycles);
+    el("td",{},tr).textContent=
+      p.walks?fmt(Math.round(p.walk_cycles/p.walks)):"-";
+    el("td",{},tr).textContent=fmt(p.max_latency);
+    el("td",{},tr).textContent=p.sharers;
+  });
+  var hl=document.getElementById("hotlines");
+  d.heat.top_lines.forEach(function(l){
+    var tr=el("tr",{},hl);
+    el("td",{"class":"k"},tr).textContent=
+      "0x"+l.line.toString(16);
+    el("td",{},tr).textContent=l.level;
+    el("td",{},tr).textContent=fmt(l.refs);
+    el("td",{},tr).textContent=fmt(l.pwc_hits);
+    el("td",{},tr).textContent=fmt(l.l2_refs);
+    el("td",{},tr).textContent=fmt(l.dram_refs);
+    el("td",{},tr).textContent=l.sharers;
+  });
+  document.getElementById("heatsum").textContent=
+    fmt(d.heat.total_walks)+" walks over "+
+    fmt(d.heat.pages_touched)+" pages; "+
+    fmt(d.heat.total_refs)+" page-table references over "+
+    fmt(d.heat.lines_touched)+" lines";
+}
+render();
+</script></body></html>
+)html";
+
+} // namespace
+
+bool
+writeHtmlReport(std::ostream &os, const Telemetry &t)
+{
+    const bool hasHeat = !t.heat().pages().empty();
+    os << kHead;
+    os << "<h1>gpummu run report</h1>\n<div class=\"meta\" "
+          "id=\"meta\"></div>\n";
+    if (!hasHeat) {
+        os << "<p class=\"warn\">Empty hot-page table: no page walks "
+              "were attributed. The heat profiler was not armed or "
+              "the run performed no walks.</p>\n";
+    }
+    os << "<h2>Counter time series</h2>\n"
+          "<select id=\"colsel\"></select>\n"
+          "<div id=\"counterchart\"></div>\n"
+          "<h2>Page divergence</h2>\n<div id=\"divchart\"></div>\n"
+          "<h2>Stall attribution</h2>\n"
+          "<table><thead><tr><th class=\"k\">reason</th>"
+          "<th>warps</th><th>cycles</th><th>share</th></tr></thead>"
+          "<tbody id=\"stalls\"></tbody></table>\n"
+          "<h2>Hot pages</h2>\n<div class=\"meta\" "
+          "id=\"heatsum\"></div>\n"
+          "<table><thead><tr><th class=\"k\">vpn</th><th>walks</th>"
+          "<th>walk cycles</th><th>mean lat</th><th>max lat</th>"
+          "<th>sharers</th></tr></thead>"
+          "<tbody id=\"hotpages\"></tbody></table>\n"
+          "<h2>Hot page-table lines</h2>\n"
+          "<table><thead><tr><th class=\"k\">line</th><th>level</th>"
+          "<th>refs</th><th>pwc hits</th><th>l2 refs</th>"
+          "<th>dram refs</th><th>sharers</th></tr></thead>"
+          "<tbody id=\"hotlines\"></tbody></table>\n";
+    os << "<script>const DATA=" << scriptSafeJson(t)
+       << ";</script>\n";
+    os << kScript;
+    return hasHeat;
+}
+
+bool
+writeHtmlReportFile(const std::string &path, const Telemetry &t)
+{
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f)
+        return false;
+    const bool ok = writeHtmlReport(f, t);
+    return f.good() && ok;
+}
+
+} // namespace gpummu

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Self-contained HTML run report.
+ *
+ * Renders one run's Telemetry as a single HTML file with no external
+ * dependencies: inline CSS, inline JS and inline SVG charts drawn
+ * from the telemetry JSON embedded in the page. Open it in any
+ * browser, attach it to a CI run, mail it around - it needs nothing
+ * but itself.
+ *
+ * Sections: run header, interval time series (selectable counter),
+ * page-divergence series, stall-attribution breakdown, hot-page and
+ * hot-PTE-line tables.
+ */
+
+#ifndef TELEMETRY_REPORT_HH
+#define TELEMETRY_REPORT_HH
+
+#include <ostream>
+#include <string>
+
+namespace gpummu {
+
+class Telemetry;
+
+/**
+ * Write the report for @p t. Returns false when the run produced no
+ * page-walk attribution at all (an empty hot-page table means the
+ * profiler was never hooked up - CI treats that as a failure) or, for
+ * the file variant, on I/O failure; the page is still written either
+ * way so the failure can be inspected.
+ */
+bool writeHtmlReport(std::ostream &os, const Telemetry &t);
+bool writeHtmlReportFile(const std::string &path, const Telemetry &t);
+
+} // namespace gpummu
+
+#endif // TELEMETRY_REPORT_HH

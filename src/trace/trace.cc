@@ -32,6 +32,32 @@ traceCatName(TraceCat cat)
     GPUMMU_PANIC("unknown trace category");
 }
 
+bool
+traceFilterMatchesAny(const std::string &prefix)
+{
+    if (prefix.empty())
+        return true;
+    for (std::size_t c = 0; c < kNumTraceCats; ++c) {
+        const std::string name =
+            traceCatName(static_cast<TraceCat>(c));
+        if (name.rfind(prefix, 0) == 0)
+            return true;
+    }
+    return false;
+}
+
+std::string
+traceCatNames()
+{
+    std::string out;
+    for (std::size_t c = 0; c < kNumTraceCats; ++c) {
+        if (!out.empty())
+            out += ", ";
+        out += traceCatName(static_cast<TraceCat>(c));
+    }
+    return out;
+}
+
 TraceSink::TraceSink(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity),
       catMask_((1u << kNumTraceCats) - 1)
@@ -66,6 +92,7 @@ TraceSink::push(const Event &ev)
 {
     if (!wants(ev.cat))
         return;
+    catEvents_[static_cast<std::size_t>(ev.cat)].inc();
     if (ring_.size() < capacity_) {
         ring_.push_back(ev);
         return;
@@ -75,7 +102,18 @@ TraceSink::push(const Event &ev)
     ring_[next_] = ev;
     next_ = (next_ + 1) % capacity_;
     wrapped_ = true;
-    ++dropped_;
+    dropped_.inc();
+}
+
+void
+TraceSink::regStats(StatRegistry &reg, const std::string &prefix)
+{
+    reg.addCounter(prefix + ".dropped", &dropped_);
+    for (std::size_t c = 0; c < kNumTraceCats; ++c) {
+        reg.addCounter(prefix + ".events." +
+                           traceCatName(static_cast<TraceCat>(c)),
+                       &catEvents_[c]);
+    }
 }
 
 void
@@ -194,7 +232,7 @@ TraceSink::writeChromeTrace(std::ostream &os) const
             emit(ev);
     }
     os << "],\"displayTimeUnit\":\"ns\",\"otherData\":{"
-       << "\"dropped_events\":" << dropped_ << "}}";
+       << "\"dropped_events\":" << dropped_.value() << "}}";
 }
 
 bool

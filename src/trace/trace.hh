@@ -23,11 +23,13 @@
 #ifndef TRACE_TRACE_HH
 #define TRACE_TRACE_HH
 
+#include <array>
 #include <cstdint>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace gpummu {
@@ -50,6 +52,13 @@ inline constexpr std::size_t kNumTraceCats = 8;
 
 /** Stable lower-case name of a category ("tlb", "ptw", ...). */
 const char *traceCatName(TraceCat cat);
+
+/** True when @p prefix selects at least one category (the same
+ *  prefix matching setFilter uses). Empty matches everything. */
+bool traceFilterMatchesAny(const std::string &prefix);
+
+/** Comma-separated list of every category name, for CLI errors. */
+std::string traceCatNames();
 
 /**
  * Ring-buffered event sink. Fixed capacity; once full, the oldest
@@ -119,8 +128,23 @@ class TraceSink
     /** Events currently resident in the ring. */
     std::size_t size() const;
     /** Events overwritten because the ring was full. */
-    std::uint64_t dropped() const { return dropped_; }
+    std::uint64_t dropped() const { return dropped_.value(); }
+    /** Events recorded (post-filter) for one category. */
+    std::uint64_t
+    recorded(TraceCat cat) const
+    {
+        return catEvents_[static_cast<std::size_t>(cat)].value();
+    }
     std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Register the sink's own health stats - "<prefix>.dropped" and
+     * "<prefix>.events.<cat>" - so a truncated trace is detectable
+     * from the run's stat dump without parsing the exported JSON.
+     * Armed runs call this with the run's registry; the counts are
+     * observation-layer stats and never feed back into simulation.
+     */
+    void regStats(StatRegistry &reg, const std::string &prefix);
 
     /**
      * Export as Chrome trace-event JSON:
@@ -141,7 +165,8 @@ class TraceSink
     std::vector<Event> ring_;
     std::size_t next_ = 0; ///< ring write cursor once wrapped
     bool wrapped_ = false;
-    std::uint64_t dropped_ = 0;
+    Counter dropped_;
+    std::array<Counter, kNumTraceCats> catEvents_;
     std::uint32_t catMask_;
     const EventQueue *clock_ = nullptr;
 };

@@ -126,6 +126,75 @@ TEST(Histogram, ResetClearsEverything)
     EXPECT_EQ(h.max(), 0u);
     for (auto b : h.buckets())
         EXPECT_EQ(b, 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(Histogram, PercentilesAreExactWithinOneLogBucket)
+{
+    // All samples of one value: every percentile is that value (the
+    // log-bucket interpolation clamps to [min, max]).
+    Histogram h;
+    h.sample(100, 7);
+    EXPECT_DOUBLE_EQ(h.percentile(0.50), 100.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 100.0);
+
+    Histogram z;
+    z.sample(0, 3);
+    EXPECT_DOUBLE_EQ(z.percentile(0.95), 0.0);
+}
+
+TEST(Histogram, PercentilesSeparateWellSpreadSamples)
+{
+    // Summary-only histograms still answer percentile queries via
+    // the always-on power-of-two distribution; resolution is one log
+    // bucket, so ranks land in the right bucket's value range.
+    Histogram h;
+    for (int i = 0; i < 95; ++i)
+        h.sample(4); // bit_width 3: bucket [4, 7]
+    for (int i = 0; i < 5; ++i)
+        h.sample(1000); // bit_width 10: bucket [512, 1023]
+    const double p50 = h.percentile(0.50);
+    EXPECT_GE(p50, 4.0);
+    EXPECT_LE(p50, 7.0);
+    const double p95 = h.percentile(0.95);
+    EXPECT_GE(p95, 4.0);
+    EXPECT_LE(p95, 7.0);
+    const double p99 = h.percentile(0.99);
+    EXPECT_GE(p99, 512.0);
+    EXPECT_LE(p99, 1000.0); // clamped to max
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), h.percentile(0.999));
+}
+
+TEST(Histogram, PercentilesAreMonotoneInQ)
+{
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 1024; ++v)
+        h.sample(v);
+    double prev = 0.0;
+    for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+        const double p = h.percentile(q);
+        EXPECT_GE(p, prev) << q;
+        EXPECT_GE(p, 1.0) << q;
+        EXPECT_LE(p, 1024.0) << q;
+        prev = p;
+    }
+    // The median of 1..1024 sits near 512 (within its log bucket).
+    EXPECT_NEAR(h.percentile(0.5), 512.0, 256.0);
+}
+
+TEST(Histogram, PercentilesAppearInDumps)
+{
+    StatRegistry reg;
+    Histogram h;
+    reg.addHistogram("lat", &h);
+    h.sample(8, 10);
+    std::ostringstream text, json;
+    reg.dump(text);
+    reg.dumpJson(json);
+    EXPECT_NE(text.str().find("lat.p50 8"), std::string::npos);
+    EXPECT_NE(text.str().find("lat.p99 8"), std::string::npos);
+    EXPECT_NE(json.str().find("\"p50\":8,\"p95\":8,\"p99\":8"),
+              std::string::npos);
 }
 
 TEST(StatRegistry, FindAndDump)
