@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Simulator-throughput benchmark (cycles-simulated per second).
+ *
+ * Runs a fixed suite of (workload, config) points — the six paper
+ * workloads under the augmented TLB, plus the shared-L2-TLB and
+ * IOMMU presets — and measures how fast the *simulator* gets through
+ * them: cycles/sec and events/sec of wall clock. The deterministic
+ * outputs (cycles, events fired, instructions) are recorded next to
+ * the timings so two checkouts can be compared point-by-point and
+ * any modelling drift is immediately visible.
+ *
+ * Usage:
+ *   simbench [--scale=<f>] [--seed=<n>] [--repeat=<n>] [--quick]
+ *            [--pr=<n>] [--bench-out=<path>]
+ *
+ *   --scale      workload scale factor (default 0.25)
+ *   --seed       workload seed (default 42)
+ *   --repeat     timed repeats per point; the best wall time is
+ *                reported, and every repeat must reproduce identical
+ *                cycles/events (the harness self-check; default 3)
+ *   --quick      only the memcached and mummergpu augmented-TLB
+ *                points (the CI smoke configuration)
+ *   --pr         PR sequence number; default output path is
+ *                BENCH_<pr>.json in the current directory
+ *   --bench-out  explicit output path (overrides --pr naming)
+ *
+ * Exit codes: 0 ok; 1 self-check or validation failure; 2 bad usage
+ * or unwritable output path.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/presets.hh"
+#include "sim/perf_report.hh"
+
+using namespace gpummu;
+
+namespace {
+
+struct SuitePoint
+{
+    BenchmarkId bench;
+    std::string config;
+    SystemConfig cfg;
+};
+
+std::vector<SuitePoint>
+buildSuite(bool quick)
+{
+    std::vector<SuitePoint> suite;
+    if (quick) {
+        suite.push_back({BenchmarkId::Memcached, "augmented_tlb",
+                         presets::augmentedTlb()});
+        suite.push_back({BenchmarkId::Mummergpu, "augmented_tlb",
+                         presets::augmentedTlb()});
+        return suite;
+    }
+    for (BenchmarkId id : allBenchmarks())
+        suite.push_back({id, "augmented_tlb", presets::augmentedTlb()});
+    suite.push_back({BenchmarkId::Bfs, "shared_l2_tlb",
+                     presets::withSharedL2Tlb(presets::augmentedTlb())});
+    suite.push_back({BenchmarkId::Bfs, "iommu", presets::iommu()});
+    return suite;
+}
+
+bool
+parseArg(const std::string &arg, const std::string &key,
+         std::string &out)
+{
+    const std::string pfx = key + "=";
+    if (arg.rfind(pfx, 0) != 0)
+        return false;
+    out = arg.substr(pfx.size());
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    WorkloadParams params;
+    params.scale = 0.25;
+    params.seed = 42;
+    int repeat = 3;
+    int pr = 6;
+    bool quick = false;
+    std::string out_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string val;
+        if (parseArg(arg, "--scale", val)) {
+            params.scale = std::stod(val);
+        } else if (parseArg(arg, "--seed", val)) {
+            params.seed = static_cast<std::uint64_t>(std::stoull(val));
+        } else if (parseArg(arg, "--repeat", val)) {
+            repeat = std::stoi(val);
+        } else if (parseArg(arg, "--pr", val)) {
+            pr = std::stoi(val);
+        } else if (parseArg(arg, "--bench-out", val)) {
+            out_path = val;
+        } else if (arg == "--quick") {
+            quick = true;
+        } else {
+            std::cerr << "simbench: unknown argument '" << arg
+                      << "'\n";
+            return 2;
+        }
+    }
+    if (repeat < 1) {
+        std::cerr << "simbench: --repeat must be >= 1\n";
+        return 2;
+    }
+    if (out_path.empty())
+        out_path = "BENCH_" + std::to_string(pr) + ".json";
+
+    BenchReport report;
+    report.pr = pr;
+    report.scale = params.scale;
+    report.seed = params.seed;
+    report.repeat = repeat;
+
+    for (const SuitePoint &pt : buildSuite(quick)) {
+        const std::string bench_name = benchmarkName(pt.bench);
+        BenchMeasurement m;
+        m.point = bench_name + "/" + pt.config;
+        m.benchmark = bench_name;
+        m.config = pt.config;
+        m.wallSeconds = -1.0;
+
+        for (int r = 0; r < repeat; ++r) {
+            const auto t0 = std::chrono::steady_clock::now();
+            const RunStats s = runConfig(pt.bench, pt.cfg, params);
+            const double dt =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            if (r == 0) {
+                m.cycles = s.cycles;
+                m.eventsFired = s.eventsFired;
+                m.instructions = s.instructions;
+            } else if (s.cycles != m.cycles ||
+                       s.eventsFired != m.eventsFired) {
+                // Non-deterministic replay: the numbers are garbage,
+                // refuse to archive them.
+                std::cerr << "simbench: self-check FAILED on "
+                          << m.point << ": repeat " << r
+                          << " simulated " << s.cycles << " cycles/"
+                          << s.eventsFired << " events vs "
+                          << m.cycles << "/" << m.eventsFired
+                          << " on the first run\n";
+                return 1;
+            }
+            if (m.wallSeconds < 0.0 || dt < m.wallSeconds)
+                m.wallSeconds = dt;
+        }
+        std::cout << m.point << ": cycles=" << m.cycles
+                  << " events=" << m.eventsFired
+                  << " best_wall=" << m.wallSeconds
+                  << "s cyc/s=" << static_cast<std::uint64_t>(
+                                        m.cyclesPerSec())
+                  << " ev/s=" << static_cast<std::uint64_t>(
+                                      m.eventsPerSec())
+                  << "\n";
+        report.points.push_back(std::move(m));
+    }
+
+    std::string err;
+    if (!report.writeFile(out_path, &err)) {
+        std::cerr << "simbench: --bench-out: " << err << "\n";
+        return 2;
+    }
+
+    // Re-read what we just wrote and validate it against the schema:
+    // the artifact is only archived when it would also pass CI.
+    std::ifstream is(out_path, std::ios::binary);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const BenchValidation v = validateBenchJson(buf.str());
+    if (!v.ok()) {
+        std::cerr << "simbench: emitted report fails validation:\n";
+        for (const std::string &e : v.errors)
+            std::cerr << "  " << e << "\n";
+        return 1;
+    }
+    std::cout << "wrote " << out_path << " ("
+              << report.points.size() << " points, schema v"
+              << kBenchSchemaVersion << ")\n";
+    return 0;
+}

@@ -36,6 +36,54 @@ struct CoalescedAccess
 };
 
 /**
+ * Allocation-free coalescing into a reused @p out. Retired page
+ * groups donate their line buffers to @p spare_lines, from where new
+ * groups reclaim them, so a warm steady state performs no heap
+ * traffic at all. The memory stage calls this once per memory
+ * instruction with member scratch; results are identical to
+ * coalesce().
+ */
+inline void
+coalesceInto(CoalescedAccess &out,
+             std::vector<std::vector<std::uint64_t>> &spare_lines,
+             const std::vector<VirtAddr> &lane_addrs,
+             unsigned line_shift, unsigned page_shift)
+{
+    for (auto &pg : out.pages) {
+        pg.vlines.clear();
+        spare_lines.push_back(std::move(pg.vlines));
+    }
+    out.pages.clear();
+    out.totalLines = 0;
+    for (VirtAddr va : lane_addrs) {
+        const Vpn vpn = va >> page_shift;
+        const std::uint64_t vline = va >> line_shift;
+        auto pg = std::find_if(out.pages.begin(), out.pages.end(),
+                               [vpn](const auto &p) {
+                                   return p.vpn == vpn;
+                               });
+        if (pg == out.pages.end()) {
+            CoalescedAccess::PageGroup g;
+            g.vpn = vpn;
+            if (!spare_lines.empty()) {
+                g.vlines = std::move(spare_lines.back());
+                spare_lines.pop_back();
+            }
+            g.vlines.push_back(vline);
+            out.pages.push_back(std::move(g));
+            ++out.totalLines;
+            continue;
+        }
+        auto &lines = pg->vlines;
+        if (std::find(lines.begin(), lines.end(), vline) ==
+            lines.end()) {
+            lines.push_back(vline);
+            ++out.totalLines;
+        }
+    }
+}
+
+/**
  * Coalesce lane addresses. @p line_shift is the cache line shift and
  * @p page_shift the translation granularity (12 or 21).
  */

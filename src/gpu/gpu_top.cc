@@ -80,11 +80,12 @@ GpuTop::setTelemetry(Telemetry *telemetry)
         core->setHeatProfiler(heat);
 }
 
-void
+bool
 GpuTop::dispatchBlocks()
 {
     // Breadth-first: one block per core per round, so occupancy
     // spreads across the machine the way GPGPU-Sim dispatches.
+    bool placed_any = false;
     bool placed = true;
     while (placed && nextBlock_ < launch_.totalBlocks) {
         placed = false;
@@ -94,9 +95,11 @@ GpuTop::dispatchBlocks()
             if (core->canAcceptBlock()) {
                 core->launchBlock(nextBlock_++);
                 placed = true;
+                placed_any = true;
             }
         }
     }
+    return placed_any;
 }
 
 RunStats
@@ -105,26 +108,67 @@ GpuTop::run(Cycle max_cycles)
     dispatchBlocks();
 
     Cycle cycle = 0;
+    std::uint64_t fast_forwarded = 0;
     while (true) {
         eq_.runUntil(cycle);
         bool all_idle = true;
+        bool all_quiescent = true;
+        Cycle wake = kCycleNever;
         for (auto &core : cores_) {
             core->tick(cycle);
             all_idle = all_idle && core->idle();
+            all_quiescent =
+                all_quiescent && core->lastTickQuiescent();
+            wake = std::min(wake, core->wakeHint());
         }
-        dispatchBlocks();
+        const bool placed = dispatchBlocks();
         if (all_idle && nextBlock_ >= launch_.totalBlocks &&
             eq_.empty()) {
             break;
         }
-        if (telemetry_ != nullptr)
+        if (telemetry_ != nullptr) {
+            // An interval boundary samples live counters: apply any
+            // deferred quiescent-streak charges first so the sampled
+            // values match the per-cycle loop exactly.
+            if (cycle + 1 >= telemetry_->nextBoundary()) {
+                for (auto &core : cores_)
+                    core->flushDeferredCharges();
+            }
             telemetry_->tick(cycle);
+        }
+
+        // Fast-forward through quiescent windows: every core's tick
+        // was a pure re-chargeable stall scan, so nothing can happen
+        // before the next event fires or the earliest readyAt
+        // elapses. Jump there, batch-charging the identical per-cycle
+        // attribution for the skipped span. Telemetry caps the jump
+        // at its next interval boundary so sampled counters see every
+        // charge in order. Bit-exact with the per-cycle loop.
+        if (all_quiescent && !placed) {
+            Cycle target = std::min(eq_.nextEventCycle(), wake);
+            if (telemetry_ != nullptr) {
+                const Cycle nb = telemetry_->nextBoundary();
+                target = nb == 0 ? cycle : std::min(target, nb - 1);
+            }
+            if (target != kCycleNever && target > cycle + 1) {
+                const Cycle n = target - (cycle + 1);
+                for (auto &core : cores_)
+                    core->chargeSkipped(cycle, n);
+                cycle += n;
+                fast_forwarded += n;
+            }
+        }
         ++cycle;
         if (cycle > max_cycles) {
             GPUMMU_FATAL("simulation exceeded ", max_cycles,
                          " cycles; deadlock or undersized budget");
         }
     }
+
+    // Settle any deferred quiescent-streak charges before anything
+    // below reads counters or folds ledgers.
+    for (auto &core : cores_)
+        core->flushDeferredCharges();
 
     // Armed runs verify the drain invariants here: all blocking MMU
     // state (outstanding walks, drain waiters, queued batches) must
@@ -147,6 +191,8 @@ GpuTop::run(Cycle max_cycles)
 
     RunStats out;
     out.cycles = cycle;
+    out.eventsFired = eq_.eventsFired();
+    out.cyclesFastForwarded = fast_forwarded;
     double tlb_lat_sum = 0.0;
     std::uint64_t tlb_lat_n = 0;
     double l1_lat_sum = 0.0;

@@ -43,6 +43,17 @@ struct RunStats
     double avgL1MissLatency = 0.0;
     double avgPageDivergence = 0.0;
     std::uint64_t maxPageDivergence = 0;
+    /** Events the run dispatched through its EventQueue. Part of the
+     *  determinism contract (replays must match), and the
+     *  events-per-second numerator for bench/simbench. Deliberately
+     *  not in dumpRunStatsJson: it is a simulator-internals metric,
+     *  not a modelled-machine stat, and goldens predate it. */
+    std::uint64_t eventsFired = 0;
+    /** Cycles the run loop fast-forwarded through quiescent windows
+     *  (batch-charged instead of ticked). Deterministic, simulator-
+     *  internals only; not in dumpRunStatsJson for the same reason
+     *  as eventsFired. */
+    std::uint64_t cyclesFastForwarded = 0;
 
     double
     tlbMissRate() const
@@ -78,8 +89,32 @@ struct RunStats
                       : 0.0;
     }
 
-    /** Field-wise equality; the replay tests assert bit-identity. */
-    bool operator==(const RunStats &) const = default;
+    /**
+     * Field-wise equality; the replay tests assert bit-identity.
+     * cyclesFastForwarded is deliberately excluded: armed telemetry
+     * caps fast-forward windows at its interval boundaries, so the
+     * *amount* skipped legitimately differs between otherwise
+     * bit-identical plain and armed runs. Every modelled quantity —
+     * including eventsFired — must still match exactly.
+     */
+    bool
+    operator==(const RunStats &o) const
+    {
+        return cycles == o.cycles && instructions == o.instructions &&
+               memInstructions == o.memInstructions &&
+               tlbAccesses == o.tlbAccesses && tlbHits == o.tlbHits &&
+               l1Accesses == o.l1Accesses && l1Hits == o.l1Hits &&
+               idleCycles == o.idleCycles &&
+               walkRefsIssued == o.walkRefsIssued &&
+               walkRefsEliminated == o.walkRefsEliminated &&
+               walkL2Accesses == o.walkL2Accesses &&
+               walkL2Hits == o.walkL2Hits &&
+               avgTlbMissLatency == o.avgTlbMissLatency &&
+               avgL1MissLatency == o.avgL1MissLatency &&
+               avgPageDivergence == o.avgPageDivergence &&
+               maxPageDivergence == o.maxPageDivergence &&
+               eventsFired == o.eventsFired;
+    }
 };
 
 /**
@@ -143,7 +178,8 @@ class GpuTop
     EventQueue &eventQueue() { return eq_; }
 
   private:
-    void dispatchBlocks();
+    /** Place pending blocks; true if any core accepted one. */
+    bool dispatchBlocks();
 
     PhysicalMemory phys_;
     AddressSpace as_;

@@ -57,7 +57,9 @@ MemoryStage::issue(int warp_id, bool is_store,
 
     const unsigned page_shift =
         mmu_.config().enabled ? mmu_.pageShift() : kPageShift4K;
-    CoalescedAccess acc = coalesce(lane_addrs, kLineShift, page_shift);
+    coalesceInto(accScratch_, spareLines_, lane_addrs, kLineShift,
+                 page_shift);
+    const CoalescedAccess &acc = accScratch_;
 
     lastIssueReason_ = StallReason::Interconnect;
     if (trace_)
@@ -115,14 +117,17 @@ MemoryStage::issue(int warp_id, bool is_store,
         heat_->onPageDivergence(acc.pageDivergence());
 
     // --- Real TLB lookup for the coalesced PTE set. ---
-    std::vector<Vpn> vpns;
+    std::vector<Vpn> &vpns = vpnScratch_;
+    vpns.clear();
     vpns.reserve(acc.pages.size());
     for (const auto &pg : acc.pages)
         vpns.push_back(pg.vpn);
-    auto batch = mmu_.lookupBatch(vpns, warp_id);
+    mmu_.lookupBatchInto(batchScratch_, vpns, warp_id);
+    const Mmu::BatchResult &batch = batchScratch_;
     const Cycle t0 = now + batch.extraCycles;
 
-    std::vector<Vpn> miss_vpns;
+    std::vector<Vpn> &miss_vpns = missVpnScratch_;
+    miss_vpns.clear();
     for (std::size_t i = 0; i < batch.lookups.size(); ++i) {
         const auto &vl = batch.lookups[i];
         if (vl.hit) {
@@ -180,24 +185,7 @@ MemoryStage::issue(int warp_id, bool is_store,
     // --- Misses: start walks; policy decides what overlaps. ---
     const bool overlap = mmu_.config().cacheOverlap;
 
-    struct Pending
-    {
-        std::size_t remainingWalks = 0;
-        Cycle ready = 0;
-        Cycle lastWalkDone = 0;
-        bool isStore = false;
-        bool overlap = false;
-        int warpId = -1;
-        bool tlbMissedInstr = true;
-        /** vlines to replay per missing vpn (and, without overlap,
-         *  the already-hit groups too, frame resolved eagerly). */
-        std::vector<std::pair<std::uint64_t, std::vector<std::uint64_t>>>
-            deferredByFrame;
-        std::vector<std::pair<Vpn, std::vector<std::uint64_t>>>
-            deferredByVpn;
-        CompleteFn complete;
-    };
-    auto pending = std::make_shared<Pending>();
+    ArenaRc<WalkPending> pending = walkArena_.createRc();
     pending->remainingWalks = miss_vpns.size();
     pending->ready = t0 + 1;
     pending->isStore = is_store;
@@ -303,17 +291,12 @@ MemoryStage::issueIommu(int warp_id, bool is_store,
     // (the virtual->physical bijection makes the hit/miss pattern
     // identical for the tag-level model). Translation gates only the
     // pages whose lines missed.
-    struct Pending
-    {
-        std::size_t remaining = 0;
-        Cycle ready = 0;
-        CompleteFn complete;
-    };
-    auto pending = std::make_shared<Pending>();
+    ArenaRc<IommuPending> pending = iommuArena_.createRc();
     pending->ready = now + 1;
     pending->complete = std::move(complete);
 
-    std::vector<Vpn> missing_pages;
+    std::vector<Vpn> &missing_pages = iommuMissScratch_;
+    missing_pages.clear();
     for (const auto &pg : acc.pages) {
         bool page_missed = false;
         for (std::uint64_t vline : pg.vlines) {

@@ -31,6 +31,7 @@
 #include "mmu/iommu.hh"
 #include "mmu/mmu.hh"
 #include "sched/warp_scheduler.hh"
+#include "sim/arena.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "trace/stall_accounting.hh"
@@ -116,6 +117,39 @@ class MemoryStage
     std::uint64_t tlbBusyBounces() const { return tlbBounces_.value(); }
 
   private:
+    /**
+     * Miss-path state of one in-flight warp memory instruction,
+     * shared by the walk-completion callbacks. Arena-pooled behind
+     * ArenaRc handles (the old make_shared churn was one control
+     * block per missing instruction).
+     */
+    struct WalkPending
+    {
+        std::size_t remainingWalks = 0;
+        Cycle ready = 0;
+        Cycle lastWalkDone = 0;
+        bool isStore = false;
+        bool overlap = false;
+        int warpId = -1;
+        bool tlbMissedInstr = true;
+        /** vlines to replay per missing vpn (and, without overlap,
+         *  the already-hit groups too, frame resolved eagerly). */
+        std::vector<
+            std::pair<std::uint64_t, std::vector<std::uint64_t>>>
+            deferredByFrame;
+        std::vector<std::pair<Vpn, std::vector<std::uint64_t>>>
+            deferredByVpn;
+        CompleteFn complete;
+    };
+
+    /** IOMMU-path equivalent of WalkPending. */
+    struct IommuPending
+    {
+        std::size_t remaining = 0;
+        Cycle ready = 0;
+        CompleteFn complete;
+    };
+
     /** Access one physical line, absorbing MSHR-full retries. */
     Cycle accessLine(PhysAddr pline, bool is_store, Cycle at,
                      int warp_id, bool tlb_missed_instr);
@@ -138,6 +172,27 @@ class MemoryStage
     int traceTid_ = 0;
     HeatProfiler *heat_ = nullptr;
     StallReason lastIssueReason_ = StallReason::None;
+
+    /** Pools for the pending descriptors above. Walk callbacks held
+     *  by the Mmu/walkers carry ArenaRc handles into these; a
+     *  teardown with walks still in flight panics in ~Arena rather
+     *  than dangling. */
+    Arena<WalkPending> walkArena_;
+    Arena<IommuPending> iommuArena_;
+
+    /**
+     * issue() scratch, reused across instructions so the per-issue
+     * path performs no allocation. Safe because issue() is never
+     * re-entered: completion callbacks only mark warps ready, and
+     * cores issue from tick(). Anything that outlives the call
+     * (deferred replay lines) is copied into the pending descriptor.
+     */
+    CoalescedAccess accScratch_;
+    std::vector<std::vector<std::uint64_t>> spareLines_;
+    Mmu::BatchResult batchScratch_;
+    std::vector<Vpn> vpnScratch_;
+    std::vector<Vpn> missVpnScratch_;
+    std::vector<Vpn> iommuMissScratch_;
 
     Counter memInstrs_;
     Counter tlbBounces_;

@@ -29,6 +29,40 @@ class ShaderCore
     virtual ~ShaderCore() = default;
 
     virtual void tick(Cycle now) = 0;
+
+    /**
+     * Fast-forward support. A tick is *quiescent* when it issued
+     * nothing, retired nothing and only charged stall attribution —
+     * so re-running it for the next k cycles is equivalent to
+     * chargeSkipped(now, k), provided no event fires, no warp's
+     * readyAt elapses (see wakeHint()) and no block is dispatched in
+     * between. Cores that cannot prove this (TBC) keep the defaults
+     * and simply never fast-forward.
+     */
+    virtual bool lastTickQuiescent() const { return false; }
+
+    /** Earliest cycle (> the last ticked one) at which a resident
+     *  warp wakes by timeout alone; kCycleNever if only events can
+     *  change this core's state. Valid after a quiescent tick. */
+    virtual Cycle wakeHint() const { return kCycleNever; }
+
+    /** Apply the per-cycle charges of @p n skipped quiescent cycles
+     *  following a quiescent tick at @p now. */
+    virtual void
+    chargeSkipped(Cycle now, Cycle n)
+    {
+        (void)now;
+        (void)n;
+    }
+
+    /**
+     * Cores may defer the (identical) per-cycle stall charges of a
+     * quiescent streak and apply them in one batch. The top level
+     * flushes before anything samples live counters mid-run (a
+     * telemetry interval boundary) and once after the cycle loop.
+     */
+    virtual void flushDeferredCharges() {}
+
     virtual bool canAcceptBlock() const = 0;
     virtual void launchBlock(unsigned global_block_id) = 0;
     /** No resident work left. */

@@ -123,6 +123,7 @@ SimtCore::launchBlock(unsigned global_block_id)
         ++liveWarps_;
     }
     GPUMMU_ASSERT(assigned == warpsPerBlock());
+    ++stateVersion_;
 }
 
 const Instruction *
@@ -257,6 +258,7 @@ SimtCore::issueWarp(int wid, Cycle now)
                 Warp &ww = warps_[static_cast<std::size_t>(wid)];
                 ww.state = WarpState::Ready;
                 ww.readyAt = ready;
+                ++stateVersion_;
             });
         if (result == MemIssueResult::BlockedTlbBusy) {
             // Swapped out: retry this instruction after the MMU
@@ -268,6 +270,7 @@ SimtCore::issueWarp(int wid, Cycle now)
                 if (ww.state == WarpState::WaitingTlbDrain) {
                     ww.state = WarpState::Ready;
                     ww.readyAt = eq_.now() + 1;
+                    ++stateVersion_;
                 }
             });
             return true;
@@ -288,11 +291,34 @@ SimtCore::issueWarp(int wid, Cycle now)
 void
 SimtCore::tick(Cycle now)
 {
-    if (liveWarps_ == 0)
+    quiescent_ = false;
+    wakeHint_ = kCycleNever;
+    if (liveWarps_ == 0) {
+        // Nothing resident: ticking is a no-op (the scheduler is not
+        // consulted on this path either), so repeats are free.
+        quiescent_ = true;
         return;
-    sched_->tick(now);
+    }
 
     const bool mem_available = mmu_.memAvailable();
+    const bool miss_out = mmu_.missOutstanding();
+    if (memoValid_ && stateVersion_ == memoVersion_ &&
+        mem_available == memoMemAvail_ && miss_out == memoMissOut_ &&
+        now < wakeAt_) {
+        // Nothing the last quiescent scan depended on has changed:
+        // this cycle charges exactly the same cells. Defer it.
+        ++pendingRepeat_;
+        quiescent_ = true;
+        wakeHint_ = wakeAt_;
+        return;
+    }
+    flushDeferredCharges();
+    memoValid_ = false;
+    chargeProgram_.clear();
+    wakeAt_ = kCycleNever;
+
+    sched_->tick(now);
+    bool retired = false;
 
     // Collect issueable warps. Memory warps are filtered by the
     // blocking policy and the scheduler's throttle. Every resident
@@ -300,8 +326,8 @@ SimtCore::tick(Cycle now)
     // most one stall cause (ALU latency and the scheduler's own
     // throttle stay unattributed, which keeps per-warp totals below
     // the run's cycle count).
-    std::vector<int> issuable;
-    issuable.reserve(warps_.size());
+    std::vector<int> &issuable = issuableScratch_;
+    issuable.clear();
     bool any_ready_mem_blocked = false;
     for (std::size_t wid = 0; wid < warps_.size(); ++wid) {
         Warp &w = warps_[wid];
@@ -310,21 +336,27 @@ SimtCore::tick(Cycle now)
         const int iw = static_cast<int>(wid);
         if (w.state == WarpState::WaitingMem) {
             stalls_.attribute(iw, w.stallReason);
+            chargeProgram_.push_back({iw, w.stallReason});
             continue;
         }
         if (w.state == WarpState::WaitingTlbDrain) {
             stalls_.attribute(iw, StallReason::WalkerStructural);
+            chargeProgram_.push_back(
+                {iw, StallReason::WalkerStructural});
             continue;
         }
         if (w.state != WarpState::Ready)
             continue;
         if (w.readyAt > now) {
             stalls_.attribute(iw, w.stallReason);
+            chargeProgram_.push_back({iw, w.stallReason});
+            wakeHint_ = std::min(wakeHint_, w.readyAt);
             continue;
         }
         const Instruction *in = nextInstr(w);
         if (in == nullptr) {
             retireWarp(iw, w);
+            retired = true;
             continue;
         }
         const bool is_mem =
@@ -334,6 +366,7 @@ SimtCore::tick(Cycle now)
                 // The blocking TLB's gate: walks are outstanding.
                 any_ready_mem_blocked = true;
                 stalls_.attribute(iw, StallReason::TlbMiss);
+                chargeProgram_.push_back({iw, StallReason::TlbMiss});
                 continue;
             }
             if (!sched_->mayIssueMem(iw)) {
@@ -343,6 +376,8 @@ SimtCore::tick(Cycle now)
         }
         issuable.push_back(iw);
     }
+
+    const bool scan_empty = issuable.empty();
 
     unsigned issued = 0;
     bool mem_issued = false;
@@ -357,6 +392,7 @@ SimtCore::tick(Cycle now)
         const Instruction *in = nextInstr(w);
         if (in == nullptr) {
             retireWarp(wid, w);
+            retired = true;
             continue;
         }
         const bool is_mem =
@@ -375,6 +411,53 @@ SimtCore::tick(Cycle now)
         if (any_ready_mem_blocked)
             memBlockedCycles_.inc();
     }
+
+    // A quiescent tick only charged attribution: nothing issued or
+    // retired and the scan produced no issuable warp, so pick() was
+    // never consulted. With a pure scheduler, re-running it is
+    // side-effect-free until an event fires, a readyAt elapses or a
+    // warp-state mutation bumps stateVersion_ — so memoize it.
+    quiescent_ = issued == 0 && !retired && scan_empty &&
+                 sched_->tickIsPure();
+    if (quiescent_) {
+        memoValid_ = true;
+        memoVersion_ = stateVersion_;
+        memoMemAvail_ = mem_available;
+        memoMissOut_ = miss_out;
+        wakeAt_ = wakeHint_;
+        chargeTlbIdle_ = miss_out;
+        chargeMemBlocked_ = any_ready_mem_blocked;
+    }
+}
+
+void
+SimtCore::chargeSkipped(Cycle now, Cycle n)
+{
+    (void)now;
+    if (liveWarps_ == 0)
+        return;
+    // GpuTop only calls this right after a quiescent tick, whose
+    // memoized charge program is exactly what every skipped cycle
+    // would have charged. Defer: flushDeferredCharges() multiplies.
+    GPUMMU_ASSERT(memoValid_);
+    pendingRepeat_ += n;
+}
+
+void
+SimtCore::flushDeferredCharges()
+{
+    if (pendingRepeat_ == 0)
+        return;
+    const Cycle n = pendingRepeat_;
+    pendingRepeat_ = 0;
+    for (const ChargeEntry &e : chargeProgram_)
+        stalls_.attribute(e.warp, e.reason, n);
+    // A quiescent tick with resident warps always counts idle.
+    idleCycles_.inc(n);
+    if (chargeTlbIdle_)
+        tlbIdleCycles_.inc(n);
+    if (chargeMemBlocked_)
+        memBlockedCycles_.inc(n);
 }
 
 void

@@ -87,6 +87,11 @@ class SimtCore : public ShaderCore
     /** Advance one cycle. */
     void tick(Cycle now) override;
 
+    bool lastTickQuiescent() const override { return quiescent_; }
+    Cycle wakeHint() const override { return wakeHint_; }
+    void chargeSkipped(Cycle now, Cycle n) override;
+    void flushDeferredCharges() override;
+
     /** True when no resident warps remain. */
     bool idle() const override { return liveWarps_ == 0; }
 
@@ -190,6 +195,41 @@ class SimtCore : public ShaderCore
     std::vector<ResidentBlock> blocks_;
     unsigned liveWarps_ = 0;
     WarpStallAccounting stalls_;
+    /** tick() scratch: issuable-warp ids. Member so the per-cycle
+     *  path does not allocate (tick dominates the profile). */
+    std::vector<int> issuableScratch_;
+
+    /** Set by tick(): was the last tick quiescent (nothing issued,
+     *  retired or mutated), and when does the earliest Ready warp
+     *  wake by timeout? Consumed by GpuTop's fast-forward. */
+    bool quiescent_ = false;
+    Cycle wakeHint_ = kCycleNever;
+
+    /**
+     * Memoized quiescent tick. A quiescent full scan records its
+     * exact per-cycle charges (chargeProgram_ + the idle-counter
+     * flags) and the inputs they depended on. While the inputs hold —
+     * no warp-state mutation (stateVersion_), same MMU gate and
+     * outstanding-miss answers, and no readyAt elapsed (wakeAt_) —
+     * each subsequent tick is O(1): bump pendingRepeat_ and return.
+     * flushDeferredCharges() applies program x pendingRepeat_ before
+     * anything can observe the counters or the state changes.
+     */
+    struct ChargeEntry
+    {
+        int warp;
+        StallReason reason;
+    };
+    std::vector<ChargeEntry> chargeProgram_;
+    bool chargeTlbIdle_ = false;
+    bool chargeMemBlocked_ = false;
+    bool memoValid_ = false;
+    std::uint64_t stateVersion_ = 0;
+    std::uint64_t memoVersion_ = 0;
+    bool memoMemAvail_ = false;
+    bool memoMissOut_ = false;
+    Cycle wakeAt_ = kCycleNever;
+    Cycle pendingRepeat_ = 0;
 
     Counter instrs_;
     Counter aluInstrs_;

@@ -9,25 +9,38 @@ namespace gpummu {
 L1Cache::L1Cache(const L1CacheConfig &cfg, MemorySystem &mem)
     : cfg_(cfg), mem_(mem), array_(cfg.bytes / kLineSize, cfg.ways)
 {
+    mshrs_.reserve(cfg.numMshrs);
+}
+
+std::vector<L1Cache::Mshr>::iterator
+L1Cache::findMshr(PhysAddr line)
+{
+    auto it = std::lower_bound(mshrs_.begin(), mshrs_.end(), line,
+                               [](const Mshr &m, PhysAddr l) {
+                                   return m.line < l;
+                               });
+    if (it != mshrs_.end() && it->line == line)
+        return it;
+    return mshrs_.end();
 }
 
 void
 L1Cache::reapMshrs(Cycle now)
 {
-    for (auto it = mshrs_.begin(); it != mshrs_.end();) {
-        if (it->second <= now)
-            it = mshrs_.erase(it);
-        else
-            ++it;
-    }
+    // remove_if is stable, so the vector stays sorted by line.
+    mshrs_.erase(std::remove_if(mshrs_.begin(), mshrs_.end(),
+                                [now](const Mshr &m) {
+                                    return m.readyAt <= now;
+                                }),
+                 mshrs_.end());
 }
 
 Cycle
 L1Cache::earliestMshrFree() const
 {
     Cycle earliest = kCycleNever;
-    for (const auto &[line, ready] : mshrs_)
-        earliest = std::min(earliest, ready);
+    for (const Mshr &m : mshrs_)
+        earliest = std::min(earliest, m.readyAt);
     return earliest;
 }
 
@@ -57,12 +70,12 @@ L1Cache::access(PhysAddr line_addr, bool is_write, Cycle now, int warp_id)
         accesses_.inc();
         // Tags are allocated at miss time; if the fill is still in
         // flight this is an MSHR merge, not a data hit.
-        if (auto it = mshrs_.find(line_addr);
-            it != mshrs_.end() && it->second > now) {
+        if (auto it = findMshr(line_addr);
+            it != mshrs_.end() && it->readyAt > now) {
             mshrMerges_.inc();
             out.hit = false;
             out.mshrMerged = true;
-            out.readyAt = it->second;
+            out.readyAt = it->readyAt;
             return out;
         }
         hits_.inc();
@@ -76,13 +89,13 @@ L1Cache::access(PhysAddr line_addr, bool is_write, Cycle now, int warp_id)
     }
 
     // The tag was evicted while its fill is outstanding: merge.
-    if (auto it = mshrs_.find(line_addr); it != mshrs_.end()) {
-        if (it->second > now) {
+    if (auto it = findMshr(line_addr); it != mshrs_.end()) {
+        if (it->readyAt > now) {
             accesses_.inc();
             mshrMerges_.inc();
             out.hit = false;
             out.mshrMerged = true;
-            out.readyAt = it->second;
+            out.readyAt = it->readyAt;
             return out;
         }
         mshrs_.erase(it);
@@ -107,7 +120,12 @@ L1Cache::access(PhysAddr line_addr, bool is_write, Cycle now, int warp_id)
                           static_cast<std::uint64_t>(warp_id));
     auto shared = mem_.access(line_addr, false, now + cfg_.hitLatency,
                               AccessSource::Data);
-    mshrs_.emplace(line_addr, shared.readyAt);
+    mshrs_.insert(std::lower_bound(mshrs_.begin(), mshrs_.end(),
+                                   line_addr,
+                                   [](const Mshr &m, PhysAddr l) {
+                                       return m.line < l;
+                                   }),
+                  Mshr{line_addr, shared.readyAt});
     missLatency_.sample(shared.readyAt - now);
 
     // Allocate the tag now (fetch-on-miss with immediate allocation);

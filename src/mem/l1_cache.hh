@@ -19,7 +19,7 @@
 
 #include <functional>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "mem/memory_system.hh"
 #include "mem/request.hh"
@@ -94,11 +94,28 @@ class L1Cache
         int allocWarp = -1;
     };
 
+    /** One outstanding line fill. */
+    struct Mshr
+    {
+        PhysAddr line;
+        Cycle readyAt;
+    };
+
+    /** Iterator to the MSHR tracking @p line, or end(). */
+    std::vector<Mshr>::iterator findMshr(PhysAddr line);
+
     L1CacheConfig cfg_;
     MemorySystem &mem_;
     SetAssocArray<LineInfo> array_;
-    /** Outstanding line fills: line address -> fill-complete cycle. */
-    std::unordered_map<PhysAddr, Cycle> mshrs_;
+    /**
+     * Outstanding line fills, sorted by line address. A flat sorted
+     * vector (capacity reserved to numMshrs up front) beats the old
+     * unordered_map here: the file holds at most ~96 entries, every
+     * miss did a node allocation, and the per-access find dominated.
+     * Binary search + memmove on so few POD entries is cheaper and
+     * allocation-free.
+     */
+    std::vector<Mshr> mshrs_;
     EvictionListener onEvict_;
     TraceSink *trace_ = nullptr;
     int traceTid_ = 0;

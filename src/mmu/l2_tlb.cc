@@ -46,10 +46,13 @@ L2Tlb::access(Vpn tag, Cycle now, WakeFn done)
         if (trace_)
             trace_->instantAt(TraceCat::L2Tlb, "l2tlb_hit", traceTid_,
                               issue, "vpn", tag);
-        const Translation t = *res.payload;
-        eq_.schedule(ready, [tag, t, ready, done = std::move(done)]() {
-            done(tag, t.ppn, t.isLarge, ready);
-        });
+        HitWake *ev = hitArena_.create();
+        ev->tlb = this;
+        ev->tag = tag;
+        ev->t = *res.payload;
+        ev->ready = ready;
+        ev->done = std::move(done);
+        eq_.scheduleRaw(ready, &L2Tlb::fireHitWake, ev);
         return AccessResult{Outcome::Hit, ready};
     }
 
@@ -90,6 +93,22 @@ L2Tlb::access(Vpn tag, Cycle now, WakeFn done)
     }
     mshrs_[tag].push_back(std::move(done));
     return AccessResult{Outcome::NeedWalk, ready};
+}
+
+void
+L2Tlb::fireHitWake(void *ctx, Cycle now)
+{
+    auto *ev = static_cast<HitWake *>(ctx);
+    GPUMMU_ASSERT(now == ev->ready);
+    // Release the node before the callback: done() may access() this
+    // L2 again and needs the slot free for its own completion.
+    L2Tlb *tlb = ev->tlb;
+    const Vpn tag = ev->tag;
+    const Translation t = ev->t;
+    const Cycle ready = ev->ready;
+    WakeFn done = std::move(ev->done);
+    tlb->hitArena_.destroy(ev);
+    done(tag, t.ppn, t.isLarge, ready);
 }
 
 void

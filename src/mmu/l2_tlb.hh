@@ -37,6 +37,7 @@
 
 #include "check/invariant_checker.hh"
 #include "mem/set_assoc.hh"
+#include "sim/arena.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -181,9 +182,23 @@ class L2Tlb
     /** Install @p t, reporting eviction + running the armed sweep. */
     void install(Vpn tag, const Translation &t);
 
+    /** Arena-pooled hit-completion event payload (scheduleRaw). */
+    struct HitWake
+    {
+        L2Tlb *tlb = nullptr;
+        Vpn tag = 0;
+        Translation t;
+        Cycle ready = 0;
+        WakeFn done;
+    };
+
+    static void fireHitWake(void *ctx, Cycle now);
+
     L2TlbConfig cfg_;
     unsigned pageShift_;
     EventQueue &eq_;
+    /** Before every member a pending HitWake could reference. */
+    Arena<HitWake> hitArena_;
     std::unique_ptr<InvariantChecker> checker_;
     SetAssocArray<Translation> array_;
     std::vector<Cycle> portFreeAt_;

@@ -30,8 +30,19 @@ Mmu::magicTranslate(VirtAddr va) const
 Mmu::BatchResult
 Mmu::lookupBatch(const std::vector<Vpn> &vpns, int warp_id)
 {
-    GPUMMU_ASSERT(cfg_.enabled, "lookupBatch on a disabled MMU");
     BatchResult out;
+    lookupBatchInto(out, vpns, warp_id);
+    return out;
+}
+
+void
+Mmu::lookupBatchInto(BatchResult &out, const std::vector<Vpn> &vpns,
+                     int warp_id)
+{
+    GPUMMU_ASSERT(cfg_.enabled, "lookupBatch on a disabled MMU");
+    out.lookups.clear();
+    out.extraCycles = 0;
+    out.allHit = true;
     out.lookups.reserve(vpns.size());
     for (Vpn vpn : vpns) {
         auto res = tlb_.lookup(vpn, warp_id);
@@ -60,7 +71,6 @@ Mmu::lookupBatch(const std::vector<Vpn> &vpns, int warp_id)
                           cfg_.cacti.accessPenalty(cfg_.tlb.entries,
                                                    cfg_.tlb.ports);
     }
-    return out;
 }
 
 bool
@@ -149,7 +159,7 @@ Mmu::finishWalk(Vpn tag, std::uint64_t frame_base, bool is_large,
 
 void
 Mmu::issueWalks(const std::vector<Vpn> &tags, int warp_id, Cycle at,
-                std::shared_ptr<std::set<Vpn>> bypass_tags)
+                ArenaRc<BypassTags> bypass_tags)
 {
     // The walkers operate on 4KB-granularity VPNs; in large-page mode
     // the TLB tag is the 2MB VPN, so expand before walking.
@@ -168,7 +178,7 @@ Mmu::issueWalks(const std::vector<Vpn> &tags, int warp_id, Cycle at,
             auto [frame_base, is_large] = resolveWalk(vpn4k);
             if (l2_ == nullptr) {
                 finishWalk(tag, frame_base, is_large, warp_id, finish);
-            } else if (bypass_tags && bypass_tags->count(tag)) {
+            } else if (bypass_tags && bypass_tags->contains(tag)) {
                 // Walked uncovered (MSHR file was full): install the
                 // result for later requesters, complete ourselves.
                 l2_->fillBypass(
@@ -206,7 +216,7 @@ Mmu::requestWalks(const std::vector<Vpn> &vpns, int warp_id, Cycle now,
         return;
 
     if (l2_ == nullptr) {
-        issueWalks(to_walk, warp_id, now, nullptr);
+        issueWalks(to_walk, warp_id, now, {});
         return;
     }
 
@@ -215,7 +225,7 @@ Mmu::requestWalks(const std::vector<Vpn> &vpns, int warp_id, Cycle now,
     // walkers; the rest walk in one batch once the slowest lookup
     // has resolved (the L2 arbitrates its ports across cores).
     std::vector<Vpn> need_walk;
-    auto bypass_tags = std::make_shared<std::set<Vpn>>();
+    ArenaRc<BypassTags> bypass_tags;
     Cycle walk_at = now;
     for (Vpn tag : to_walk) {
         auto res = l2_->access(
@@ -230,6 +240,8 @@ Mmu::requestWalks(const std::vector<Vpn> &vpns, int warp_id, Cycle now,
             l2Satisfied_.inc();
             break;
           case L2Tlb::Outcome::Bypass:
+            if (!bypass_tags)
+                bypass_tags = bypassArena_.createRc();
             bypass_tags->insert(tag);
             [[fallthrough]];
           case L2Tlb::Outcome::NeedWalk:

@@ -21,6 +21,7 @@
 #ifndef MMU_MMU_HH
 #define MMU_MMU_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -34,6 +35,7 @@
 #include "mmu/cacti_model.hh"
 #include "mmu/ptw.hh"
 #include "mmu/tlb.hh"
+#include "sim/arena.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "vm/address_space.hh"
@@ -134,6 +136,11 @@ class Mmu
      * blocking policy (see requestWalks).
      */
     BatchResult lookupBatch(const std::vector<Vpn> &vpns, int warp_id);
+
+    /** Allocation-free variant: results land in @p out (cleared
+     *  first); the memory stage passes a reused scratch object. */
+    void lookupBatchInto(BatchResult &out,
+                         const std::vector<Vpn> &vpns, int warp_id);
 
     /**
      * Can a warp's memory instruction access the TLB right now?
@@ -248,16 +255,38 @@ class Mmu
      *  large flag), asserting granularity agreement. */
     std::pair<std::uint64_t, bool> resolveWalk(Vpn vpn4k);
 
+    /**
+     * Tags of one miss batch that must bypass the shared L2 TLB's
+     * MSHR file (it was full). Tiny set, one per miss batch whose
+     * walks go to the walkers; arena-pooled so the shared-L2 miss
+     * path performs no shared_ptr control-block allocation.
+     */
+    struct BypassTags
+    {
+        std::vector<Vpn> tags;
+
+        void insert(Vpn v) { tags.push_back(v); }
+
+        bool
+        contains(Vpn v) const
+        {
+            return std::find(tags.begin(), tags.end(), v) !=
+                   tags.end();
+        }
+    };
+
     /** Issue walker-pool walks for @p tags (page-granularity), with
      *  completions routed through the L2 TLB when attached. */
     void issueWalks(const std::vector<Vpn> &tags, int warp_id,
-                    Cycle at,
-                    std::shared_ptr<std::set<Vpn>> bypass_tags);
+                    Cycle at, ArenaRc<BypassTags> bypass_tags);
 
     MmuConfig cfg_;
     AddressSpace &as_;
     unsigned pageShift_;
     std::unique_ptr<InvariantChecker> checker_;
+    /** Declared before walkers_: walk callbacks hold ArenaRc handles
+     *  into it, so it must be destroyed after them. */
+    Arena<BypassTags> bypassArena_;
     Tlb tlb_;
     PageWalkers walkers_;
     L2Tlb *l2_ = nullptr;

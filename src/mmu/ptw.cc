@@ -93,7 +93,8 @@ void
 PageWalkers::startNaive(unsigned w, Cycle now)
 {
     GPUMMU_ASSERT(!queue_.empty());
-    auto batch = std::make_shared<ActiveBatch>();
+    ActiveBatch *batch = batchArena_.create();
+    batch->pool = this;
     PendingWalk walk = std::move(queue_.front());
     queue_.pop_front();
     const WalkPath path = pt_.walk(walk.vpn);
@@ -113,7 +114,7 @@ PageWalkers::startNaive(unsigned w, Cycle now)
                         inFlight_);
     }
     walkerBusy_[w] = true;
-    stepLevel(w, std::move(batch), now);
+    stepLevel(w, batch, now);
 }
 
 void
@@ -121,7 +122,8 @@ PageWalkers::startScheduledBatch(unsigned w, Cycle now)
 {
     GPUMMU_ASSERT(!queue_.empty());
     batches_.inc();
-    auto batch = std::make_shared<ActiveBatch>();
+    ActiveBatch *batch = batchArena_.create();
+    batch->pool = this;
 
     // Snapshot every queued walk into this batch (the MSHR scan).
     std::vector<WalkPath> paths;
@@ -178,12 +180,44 @@ PageWalkers::startScheduledBatch(unsigned w, Cycle now)
     }
 
     walkerBusy_[w] = true;
-    stepLevel(w, std::move(batch), now);
+    stepLevel(w, batch, now);
 }
 
 void
-PageWalkers::stepLevel(unsigned w, std::shared_ptr<ActiveBatch> batch,
-                       Cycle now)
+PageWalkers::fireStepLevel(void *ctx, Cycle now)
+{
+    auto *batch = static_cast<ActiveBatch *>(ctx);
+    batch->pool->stepLevel(batch->walker, batch, now);
+}
+
+void
+PageWalkers::fireWalkDone(void *ctx, Cycle now)
+{
+    auto *ev = static_cast<WalkDone *>(ctx);
+    PageWalkers *pool = ev->pool;
+    GPUMMU_ASSERT(now == ev->ready);
+    GPUMMU_ASSERT(pool->inFlight_ > 0);
+    --pool->inFlight_;
+    if (pool->trace_) {
+        pool->trace_->span(TraceCat::Ptw, "page_walk", pool->traceTid_,
+                           ev->enqueued, ev->ready - ev->enqueued,
+                           "vpn", ev->vpn);
+        pool->trace_->counter(TraceCat::Ptw, "walks_in_flight",
+                              pool->traceTid_, pool->inFlight_);
+    }
+    if (pool->checker_)
+        pool->checker_->onWalkCompleted(ev->vpn);
+    // Move the callback out before releasing the node: done() may
+    // start new walks, and the recycled slot must be free for them.
+    DoneFn done = std::move(ev->done);
+    const Vpn vpn = ev->vpn;
+    const Cycle ready = ev->ready;
+    pool->doneArena_.destroy(ev);
+    done(vpn, ready);
+}
+
+void
+PageWalkers::stepLevel(unsigned w, ActiveBatch *batch, Cycle now)
 {
     // One event per radix level: a level's references pipeline at
     // the port rate, the next level waits for this one (the pointer
@@ -192,6 +226,7 @@ PageWalkers::stepLevel(unsigned w, std::shared_ptr<ActiveBatch> batch,
     // timestamps up front would reserve L2/DRAM bandwidth far into
     // the future and distort every other client's latency.
     if (batch->nextLevel >= batch->levels.size()) {
+        batchArena_.destroy(batch);
         walkerBusy_[w] = false;
         pump(now);
         return;
@@ -204,34 +239,25 @@ PageWalkers::stepLevel(unsigned w, std::shared_ptr<ActiveBatch> batch,
         const Cycle ready = walkRef(ref.line, level_idx, now);
         level_end = std::max(level_end, ready);
         for (std::size_t idx : ref.finishing) {
-            const PendingWalk &walk = batch->walks[idx];
+            PendingWalk &walk = batch->walks[idx];
             walks_.inc();
             walkLatency_.sample(ready - walk.enqueued);
             if (heat_)
                 heat_->onWalkComplete(walk.vpn, heatTid_,
                                       walk.enqueued, ready);
-            eq_.schedule(ready, [this, vpn = walk.vpn,
-                                 done = walk.done, ready,
-                                 enq = walk.enqueued]() {
-                GPUMMU_ASSERT(inFlight_ > 0);
-                --inFlight_;
-                if (trace_) {
-                    trace_->span(TraceCat::Ptw, "page_walk",
-                                 traceTid_, enq, ready - enq, "vpn",
-                                 vpn);
-                    trace_->counter(TraceCat::Ptw, "walks_in_flight",
-                                    traceTid_, inFlight_);
-                }
-                if (checker_)
-                    checker_->onWalkCompleted(vpn);
-                done(vpn, ready);
-            });
+            // Each walk finishes exactly once, so its done callback
+            // can move into the completion node.
+            WalkDone *ev = doneArena_.create();
+            ev->pool = this;
+            ev->vpn = walk.vpn;
+            ev->ready = ready;
+            ev->enqueued = walk.enqueued;
+            ev->done = std::move(walk.done);
+            eq_.scheduleRaw(ready, &PageWalkers::fireWalkDone, ev);
         }
     }
-    eq_.schedule(level_end, [this, w, batch = std::move(batch),
-                             level_end]() mutable {
-        stepLevel(w, std::move(batch), level_end);
-    });
+    batch->walker = w;
+    eq_.scheduleRaw(level_end, &PageWalkers::fireStepLevel, batch);
 }
 
 void

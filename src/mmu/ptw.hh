@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "mem/memory_system.hh"
+#include "sim/arena.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -164,12 +165,28 @@ class PageWalkers
      * when the previous one finished (the pointer chase), but within
      * a level references pipeline at the port rate - the comparator
      * tree issues them successively (Fig. 9).
+     *
+     * Arena-pooled: the level-chain event carries a raw pointer to
+     * the batch (via EventQueue::scheduleRaw), and the batch is
+     * returned to the pool when its last level completes.
      */
     struct ActiveBatch
     {
         std::vector<std::vector<BatchRef>> levels;
         std::vector<PendingWalk> walks;
         std::size_t nextLevel = 0;
+        PageWalkers *pool = nullptr;
+        unsigned walker = 0;
+    };
+
+    /** Arena-pooled per-walk completion event payload. */
+    struct WalkDone
+    {
+        PageWalkers *pool = nullptr;
+        Vpn vpn = 0;
+        Cycle ready = 0;
+        Cycle enqueued = 0;
+        DoneFn done;
     };
 
     /** Start the next queued walk on naive walker @p w. */
@@ -179,8 +196,11 @@ class PageWalkers
     void startScheduledBatch(unsigned w, Cycle now);
 
     /** Issue the batch's next level of references; event-chained. */
-    void stepLevel(unsigned w, std::shared_ptr<ActiveBatch> batch,
-                   Cycle now);
+    void stepLevel(unsigned w, ActiveBatch *batch, Cycle now);
+
+    /** scheduleRaw targets (ctx = arena object). */
+    static void fireStepLevel(void *ctx, Cycle now);
+    static void fireWalkDone(void *ctx, Cycle now);
 
     /** One page-table reference at radix @p level, checking the walk
      *  cache first.
@@ -199,6 +219,13 @@ class PageWalkers
     int traceTid_ = 0;
     HeatProfiler *heat_ = nullptr;
     int heatTid_ = 0;
+
+    /** Pools for the event payloads above. Declared before the
+     *  per-walker state so pending raw events (whose ctx points into
+     *  these) are diagnosed by the arena destructor, not by UB, if a
+     *  pool is ever torn down mid-walk. */
+    Arena<ActiveBatch> batchArena_;
+    Arena<WalkDone> doneArena_;
 
     std::deque<PendingWalk> queue_;
     std::vector<bool> walkerBusy_;

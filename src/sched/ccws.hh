@@ -75,6 +75,8 @@ class Ccws : public WarpScheduler
     void onL1Eviction(PhysAddr line_addr, int alloc_warp) override;
     void onWarpReset(int warp_id) override;
     void tick(Cycle now) override;
+    /** Stateful tick (decay, throttle updates, per-cycle stats). */
+    bool tickIsPure() const override { return false; }
     void regStats(StatRegistry &reg, const std::string &prefix) override;
 
     /** Decayed score of one warp (exposed for tests). */
@@ -134,6 +136,8 @@ class Tcws : public WarpScheduler
     void onTlbEviction(Vpn vpn, int alloc_warp) override;
     void onWarpReset(int warp_id) override;
     void tick(Cycle now) override;
+    /** Stateful tick (decay, throttle updates, per-cycle stats). */
+    bool tickIsPure() const override { return false; }
     void regStats(StatRegistry &reg, const std::string &prefix) override;
 
     std::uint64_t score(int warp_id) const;

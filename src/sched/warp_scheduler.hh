@@ -97,6 +97,16 @@ class WarpScheduler
     /** Called once per core cycle (score decay etc.). */
     virtual void tick(Cycle now) { (void)now; }
 
+    /**
+     * Does this scheduler observe cycles? Pure schedulers promise
+     * that tick() is a no-op and mayIssueMem() is a pure query, so
+     * the core may fast-forward through cycles in which nothing can
+     * issue without calling them. CCWS-family schedulers (score
+     * decay, periodic throttle recomputation, per-cycle throttle
+     * stats) must return false, which disables fast-forwarding.
+     */
+    virtual bool tickIsPure() const { return true; }
+
     virtual void regStats(StatRegistry &reg, const std::string &prefix)
     {
         (void)reg;

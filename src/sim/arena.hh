@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Slab/freelist arenas for hot-path simulation objects.
+ *
+ * The per-cycle path used to allocate with make_unique/make_shared:
+ * one heap round trip per pending memory instruction, per page-walk
+ * batch and per completion event. Arena<T> replaces that churn with
+ * slab allocation and a LIFO freelist, so steady-state simulation
+ * performs no heap traffic for these objects at all.
+ *
+ * Properties the tests pin down:
+ *  - reuse order is deterministic (LIFO: the most recently destroyed
+ *    slot is handed out next; fresh slabs are consumed in address
+ *    order), so runs stay bit-identical at any job count;
+ *  - double-free and foreign-pointer destroy panic via GPUMMU_ASSERT
+ *    instead of corrupting the freelist;
+ *  - slab growth never moves live objects (slabs are stable arrays);
+ *  - a process-wide fallback switch (GPUMMU_NO_ARENA=1, or
+ *    setArenaPooling(false) from tests) routes every create/destroy
+ *    through plain operator new/delete. Pooled and fallback runs are
+ *    bit-identical; the determinism tests assert exactly that.
+ *
+ * ArenaRc<T> is the shared-ownership handle for objects whose
+ * lifetime is held by several std::function callbacks (the pending
+ * memory-instruction descriptors): an intrusive refcount in the slot
+ * header replaces the shared_ptr control block, and handle copies are
+ * two pointer stores plus an increment.
+ *
+ * Arenas are deliberately NOT thread-safe: each simulation is single
+ * threaded and owns its arenas; sweep workers never share one. The
+ * arena must outlive every handle and raw pointer it produced - the
+ * destructor asserts that nothing is still live, which turns a
+ * dangling-handle bug into a deterministic panic.
+ */
+
+#ifndef SIM_ARENA_HH
+#define SIM_ARENA_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace gpummu {
+
+namespace detail {
+/** -1 = unresolved (consult GPUMMU_NO_ARENA), 0 = heap, 1 = pooled. */
+inline std::atomic<int> g_arenaPooling{-1};
+} // namespace detail
+
+/**
+ * Process-wide allocation policy consulted at Arena construction:
+ * true (default) pools into slabs, false falls back to plain
+ * new/delete per object (for differential bit-identity tests and
+ * allocation-tool runs). Resolved once from GPUMMU_NO_ARENA.
+ */
+inline bool
+arenaPoolingEnabled()
+{
+    int v = detail::g_arenaPooling.load(std::memory_order_relaxed);
+    if (v < 0) {
+        const char *env = std::getenv("GPUMMU_NO_ARENA");
+        v = (env != nullptr && env[0] != '\0' && env[0] != '0') ? 0
+                                                                : 1;
+        detail::g_arenaPooling.store(v, std::memory_order_relaxed);
+    }
+    return v == 1;
+}
+
+/** Override the policy for arenas constructed afterwards (tests). */
+inline void
+setArenaPooling(bool pooled)
+{
+    detail::g_arenaPooling.store(pooled ? 1 : 0,
+                                 std::memory_order_relaxed);
+}
+
+template <typename T> class Arena;
+
+/**
+ * Intrusive refcounted handle to an arena object. Copyable (so it
+ * composes with std::function), releases the object back to its
+ * arena when the last handle drops.
+ */
+template <typename T>
+class ArenaRc
+{
+  public:
+    ArenaRc() = default;
+
+    ArenaRc(const ArenaRc &o) : arena_(o.arena_), obj_(o.obj_)
+    {
+        if (obj_ != nullptr)
+            arena_->addRef(obj_);
+    }
+
+    ArenaRc(ArenaRc &&o) noexcept : arena_(o.arena_), obj_(o.obj_)
+    {
+        o.obj_ = nullptr;
+    }
+
+    ArenaRc &
+    operator=(const ArenaRc &o)
+    {
+        if (this != &o) {
+            release();
+            arena_ = o.arena_;
+            obj_ = o.obj_;
+            if (obj_ != nullptr)
+                arena_->addRef(obj_);
+        }
+        return *this;
+    }
+
+    ArenaRc &
+    operator=(ArenaRc &&o) noexcept
+    {
+        if (this != &o) {
+            release();
+            arena_ = o.arena_;
+            obj_ = o.obj_;
+            o.obj_ = nullptr;
+        }
+        return *this;
+    }
+
+    ~ArenaRc() { release(); }
+
+    T *operator->() const { return obj_; }
+    T &operator*() const { return *obj_; }
+    T *get() const { return obj_; }
+    explicit operator bool() const { return obj_ != nullptr; }
+
+    void reset() { release(); }
+
+  private:
+    friend class Arena<T>;
+
+    ArenaRc(Arena<T> *arena, T *obj) : arena_(arena), obj_(obj) {}
+
+    void
+    release()
+    {
+        if (obj_ != nullptr && arena_->dropRef(obj_))
+            arena_->destroy(obj_);
+        obj_ = nullptr;
+    }
+
+    Arena<T> *arena_ = nullptr;
+    T *obj_ = nullptr;
+};
+
+template <typename T>
+class Arena
+{
+  public:
+    /** @param slab_objects objects added per slab growth step. */
+    explicit Arena(std::size_t slab_objects = 64)
+        : slabObjects_(slab_objects), pooled_(arenaPoolingEnabled())
+    {
+        GPUMMU_ASSERT(slab_objects > 0);
+    }
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    ~Arena()
+    {
+        GPUMMU_ASSERT(live_ == 0, "arena destroyed with ", live_,
+                      " object(s) still live; a handle outlived its "
+                      "arena");
+    }
+
+    /** Allocate + construct. The pointer stays valid until destroy()
+     *  (slab growth never moves live objects). */
+    template <typename... A>
+    T *
+    create(A &&...args)
+    {
+        Slot *s;
+        if (!pooled_) {
+            s = new Slot;
+            s->live = 0;
+            s->rc = 0;
+        } else {
+            if (freeHead_ == nullptr)
+                addSlab();
+            s = freeHead_;
+            freeHead_ = s->nextFree;
+        }
+        GPUMMU_ASSERT(s->live == 0, "arena slot already live");
+        s->live = 1;
+        s->rc = 0;
+        ++live_;
+        return ::new (static_cast<void *>(s->storage))
+            T(std::forward<A>(args)...);
+    }
+
+    /** Allocate + construct behind a refcounted handle. */
+    template <typename... A>
+    ArenaRc<T>
+    createRc(A &&...args)
+    {
+        T *obj = create(std::forward<A>(args)...);
+        slotOf(obj)->rc = 1;
+        return ArenaRc<T>(this, obj);
+    }
+
+    /** Destruct + return the slot to the freelist (LIFO). Panics on
+     *  double-free and on pointers with live ArenaRc handles. */
+    void
+    destroy(T *p)
+    {
+        GPUMMU_ASSERT(p != nullptr, "arena destroy(nullptr)");
+        Slot *s = slotOf(p);
+        GPUMMU_ASSERT(s->live == 1,
+                      "arena double-free (or foreign pointer)");
+        GPUMMU_ASSERT(s->rc == 0,
+                      "arena destroy with live ArenaRc handles");
+        p->~T();
+        s->live = 0;
+        GPUMMU_ASSERT(live_ > 0);
+        --live_;
+        if (!pooled_) {
+            delete s;
+            return;
+        }
+        s->nextFree = freeHead_;
+        freeHead_ = s;
+    }
+
+    /** Objects currently allocated. */
+    std::size_t live() const { return live_; }
+
+    /** Total slots across slabs (0 in heap-fallback mode). */
+    std::size_t
+    capacity() const
+    {
+        return slabs_.size() * slabObjects_;
+    }
+
+    std::size_t slabCount() const { return slabs_.size(); }
+
+    /** Using slabs (true) or the plain-heap fallback (false)? */
+    bool pooled() const { return pooled_; }
+
+  private:
+    friend class ArenaRc<T>;
+
+    struct Slot
+    {
+        Slot *nextFree = nullptr; ///< valid while on the freelist
+        std::uint32_t live = 0;   ///< 1 while constructed
+        std::uint32_t rc = 0;     ///< ArenaRc handle count
+        alignas(T) unsigned char storage[sizeof(T)];
+    };
+
+    static Slot *
+    slotOf(T *p)
+    {
+        return reinterpret_cast<Slot *>(
+            reinterpret_cast<unsigned char *>(p) -
+            offsetof(Slot, storage));
+    }
+
+    void addRef(T *p) { ++slotOf(p)->rc; }
+
+    /** Drop one handle; true when the object must be destroyed. */
+    bool
+    dropRef(T *p)
+    {
+        Slot *s = slotOf(p);
+        GPUMMU_ASSERT(s->rc > 0, "ArenaRc refcount underflow");
+        return --s->rc == 0;
+    }
+
+    void
+    addSlab()
+    {
+        auto slab = std::make_unique<Slot[]>(slabObjects_);
+        // Chain in reverse so allocation consumes the slab in
+        // ascending address order (deterministic, cache-friendly).
+        for (std::size_t i = slabObjects_; i-- > 0;) {
+            slab[i].nextFree = freeHead_;
+            freeHead_ = &slab[i];
+        }
+        slabs_.push_back(std::move(slab));
+    }
+
+    std::vector<std::unique_ptr<Slot[]>> slabs_;
+    Slot *freeHead_ = nullptr;
+    std::size_t live_ = 0;
+    std::size_t slabObjects_;
+    bool pooled_;
+};
+
+} // namespace gpummu
+
+#endif // SIM_ARENA_HH

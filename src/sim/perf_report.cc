@@ -1,0 +1,437 @@
+#include "sim/perf_report.hh"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace gpummu {
+
+void
+BenchReport::toJson(std::ostream &os) const
+{
+    os << "{\"schema_version\":" << schemaVersion
+       << ",\"generator\":\"simbench\""
+       << ",\"pr\":" << pr << ",\"scale\":" << jsonNum(scale)
+       << ",\"seed\":" << seed << ",\"repeat\":" << repeat
+       << ",\"points\":[";
+    bool first = true;
+    for (const BenchMeasurement &m : points) {
+        os << (first ? "" : ",") << "{\"point\":\""
+           << jsonEscape(m.point) << "\",\"benchmark\":\""
+           << jsonEscape(m.benchmark) << "\",\"config\":\""
+           << jsonEscape(m.config) << "\",\"cycles\":" << m.cycles
+           << ",\"events_fired\":" << m.eventsFired
+           << ",\"instructions\":" << m.instructions
+           << ",\"wall_seconds\":" << jsonNum(m.wallSeconds)
+           << ",\"cycles_per_sec\":" << jsonNum(m.cyclesPerSec())
+           << ",\"events_per_sec\":" << jsonNum(m.eventsPerSec())
+           << "}";
+        first = false;
+    }
+    os << "]}\n";
+}
+
+std::string
+BenchReport::toJson() const
+{
+    std::ostringstream os;
+    toJson(os);
+    return os.str();
+}
+
+bool
+BenchReport::writeFile(const std::string &path, std::string *err) const
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+        if (err != nullptr)
+            *err = "cannot open '" + path + "' for writing";
+        return false;
+    }
+    toJson(os);
+    os.flush();
+    if (!os) {
+        if (err != nullptr)
+            *err = "write to '" + path + "' failed";
+        return false;
+    }
+    return true;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+namespace {
+
+/** Tiny recursive-descent JSON parser (validation only, not perf-
+ *  critical). Strings handle the escapes jsonEscape() emits. */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string *err)
+        : s_(text), err_(err)
+    {
+    }
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!value(out))
+            return false;
+        skipWs();
+        if (pos_ != s_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &why)
+    {
+        if (err_ != nullptr && err_->empty()) {
+            *err_ = "json parse error at byte " +
+                    std::to_string(pos_) + ": " + why;
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    literal(const char *lit)
+    {
+        const std::size_t n = std::string(lit).size();
+        if (s_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    value(JsonValue &out)
+    {
+        if (pos_ >= s_.size())
+            return fail("unexpected end of input");
+        const char c = s_[pos_];
+        if (c == '{')
+            return object(out);
+        if (c == '[')
+            return array(out);
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return string(out.str);
+        }
+        if (literal("true")) {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return true;
+        }
+        if (literal("false")) {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return true;
+        }
+        if (literal("null")) {
+            out.kind = JsonValue::Kind::Null;
+            return true;
+        }
+        return number(out);
+    }
+
+    bool
+    object(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (pos_ >= s_.size() || s_[pos_] != '"')
+                return fail("expected object key");
+            if (!string(key))
+                return false;
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != ':')
+                return fail("expected ':' after key");
+            ++pos_;
+            skipWs();
+            JsonValue v;
+            if (!value(v))
+                return false;
+            out.members.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (pos_ >= s_.size())
+                return fail("unterminated object");
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    array(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            JsonValue v;
+            if (!value(v))
+                return false;
+            out.items.push_back(std::move(v));
+            skipWs();
+            if (pos_ >= s_.size())
+                return fail("unterminated array");
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    string(std::string &out)
+    {
+        ++pos_; // '"'
+        out.clear();
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= s_.size())
+                    return fail("unterminated escape");
+                const char e = s_[pos_++];
+                switch (e) {
+                  case '"':
+                    out += '"';
+                    break;
+                  case '\\':
+                    out += '\\';
+                    break;
+                  case '/':
+                    out += '/';
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'r':
+                    out += '\r';
+                    break;
+                  case 'b':
+                    out += '\b';
+                    break;
+                  case 'f':
+                    out += '\f';
+                    break;
+                  case 'u': {
+                    if (pos_ + 4 > s_.size())
+                        return fail("truncated \\u escape");
+                    // Validation-only: keep the raw escape; exact
+                    // code-point decoding is irrelevant here.
+                    out += "\\u";
+                    out += s_.substr(pos_, 4);
+                    pos_ += 4;
+                    break;
+                  }
+                  default:
+                    return fail("bad escape character");
+                }
+                continue;
+            }
+            out += c;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < s_.size() && s_[pos_] == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' ||
+                s_[pos_] == 'E' || s_[pos_] == '+' ||
+                s_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start)
+            return fail("expected a value");
+        try {
+            out.number = std::stod(s_.substr(start, pos_ - start));
+        } catch (...) {
+            return fail("bad number");
+        }
+        out.kind = JsonValue::Kind::Number;
+        return true;
+    }
+
+    const std::string &s_;
+    std::string *err_;
+    std::size_t pos_ = 0;
+};
+
+/** Fetch a required member of @p kind; records an error otherwise. */
+const JsonValue *
+requireKey(const JsonValue &obj, const std::string &key,
+           JsonValue::Kind kind, const std::string &where,
+           std::vector<std::string> &errors)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr) {
+        errors.push_back(where + ": missing required key '" + key +
+                         "'");
+        return nullptr;
+    }
+    if (v->kind != kind) {
+        errors.push_back(where + ": key '" + key +
+                         "' has the wrong type");
+        return nullptr;
+    }
+    return v;
+}
+
+void
+requirePositiveFinite(const JsonValue &obj, const std::string &key,
+                      const std::string &where,
+                      std::vector<std::string> &errors)
+{
+    const JsonValue *v =
+        requireKey(obj, key, JsonValue::Kind::Number, where, errors);
+    if (v == nullptr)
+        return;
+    if (!std::isfinite(v->number))
+        errors.push_back(where + ": '" + key + "' is not finite");
+    else if (v->number <= 0.0)
+        errors.push_back(where + ": '" + key +
+                         "' must be strictly positive");
+}
+
+} // namespace
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string *err)
+{
+    if (err != nullptr)
+        err->clear();
+    JsonParser p(text, err);
+    return p.parse(out);
+}
+
+BenchValidation
+validateBenchJson(const std::string &json)
+{
+    BenchValidation v;
+    JsonValue doc;
+    std::string perr;
+    if (!parseJson(json, doc, &perr)) {
+        v.errors.push_back(perr);
+        return v;
+    }
+    if (doc.kind != JsonValue::Kind::Object) {
+        v.errors.push_back("top level: not a JSON object");
+        return v;
+    }
+
+    if (const JsonValue *sv =
+            requireKey(doc, "schema_version", JsonValue::Kind::Number,
+                       "top level", v.errors)) {
+        const double ver = sv->number;
+        if (ver != std::floor(ver) || ver < 1 ||
+            ver > kBenchSchemaVersion) {
+            v.errors.push_back(
+                "top level: schema_version must be an integer in [1, " +
+                std::to_string(kBenchSchemaVersion) + "]");
+        }
+    }
+    requireKey(doc, "generator", JsonValue::Kind::String, "top level",
+               v.errors);
+    requireKey(doc, "pr", JsonValue::Kind::Number, "top level",
+               v.errors);
+    requireKey(doc, "scale", JsonValue::Kind::Number, "top level",
+               v.errors);
+    requireKey(doc, "seed", JsonValue::Kind::Number, "top level",
+               v.errors);
+    requireKey(doc, "repeat", JsonValue::Kind::Number, "top level",
+               v.errors);
+
+    const JsonValue *pts = requireKey(
+        doc, "points", JsonValue::Kind::Array, "top level", v.errors);
+    if (pts == nullptr)
+        return v;
+    if (pts->items.empty()) {
+        v.errors.push_back("points: array is empty");
+        return v;
+    }
+    for (std::size_t i = 0; i < pts->items.size(); ++i) {
+        const JsonValue &p = pts->items[i];
+        const std::string where = "points[" + std::to_string(i) + "]";
+        if (p.kind != JsonValue::Kind::Object) {
+            v.errors.push_back(where + ": not an object");
+            continue;
+        }
+        requireKey(p, "point", JsonValue::Kind::String, where,
+                   v.errors);
+        requireKey(p, "benchmark", JsonValue::Kind::String, where,
+                   v.errors);
+        requireKey(p, "config", JsonValue::Kind::String, where,
+                   v.errors);
+        requirePositiveFinite(p, "cycles", where, v.errors);
+        requirePositiveFinite(p, "events_fired", where, v.errors);
+        requireKey(p, "instructions", JsonValue::Kind::Number, where,
+                   v.errors);
+        requirePositiveFinite(p, "wall_seconds", where, v.errors);
+        requirePositiveFinite(p, "cycles_per_sec", where, v.errors);
+        requirePositiveFinite(p, "events_per_sec", where, v.errors);
+    }
+    return v;
+}
+
+} // namespace gpummu

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Simulator-throughput benchmark reporting (bench/simbench).
+ *
+ * A BenchReport is the schema-versioned payload behind the
+ * `BENCH_<n>.json` artifacts at the repo root: one measurement per
+ * suite point, carrying the deterministic quantities (cycles
+ * simulated, events fired, instructions) next to the wall-clock ones
+ * (seconds, cycles/sec, events/sec). The deterministic fields let two
+ * checkouts be compared point-by-point with confidence that both ran
+ * the same simulation; the wall-clock fields are the tracked perf
+ * trajectory.
+ *
+ * This layer is deliberately simulation-agnostic: it knows nothing
+ * about workloads or configs, only names and numbers, so it can live
+ * in src/sim and be unit-tested without building a GPU. The suite
+ * definition (which presets, which workloads) lives in
+ * bench/simbench.cc.
+ *
+ * validateBenchJson() re-parses an emitted file against the embedded
+ * schema; the CI bench-smoke job fails on any violation, so a
+ * regression in the writer cannot silently corrupt the trajectory.
+ */
+
+#ifndef SIM_PERF_REPORT_HH
+#define SIM_PERF_REPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gpummu {
+
+/**
+ * Version of the BENCH_*.json schema this checkout writes. Bump when
+ * adding/renaming required fields; validation accepts any version in
+ * [1, kBenchSchemaVersion], so artifacts from older checkouts keep
+ * validating while files from the future are rejected loudly.
+ */
+inline constexpr int kBenchSchemaVersion = 1;
+
+/** One measured suite point. */
+struct BenchMeasurement
+{
+    /** Stable point id, "<benchmark>/<config>". */
+    std::string point;
+    std::string benchmark;
+    std::string config;
+
+    /** Deterministic quantities (must replay identically). */
+    std::uint64_t cycles = 0;
+    std::uint64_t eventsFired = 0;
+    std::uint64_t instructions = 0;
+
+    /** Wall-clock of the best (fastest) repeat, in seconds. */
+    double wallSeconds = 0.0;
+
+    double
+    cyclesPerSec() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(cycles) / wallSeconds
+                   : 0.0;
+    }
+
+    double
+    eventsPerSec() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(eventsFired) / wallSeconds
+                   : 0.0;
+    }
+};
+
+/** A full simbench run: metadata plus one measurement per point. */
+struct BenchReport
+{
+    int schemaVersion = kBenchSchemaVersion;
+    /** PR sequence number the artifact belongs to (BENCH_<pr>.json). */
+    int pr = 0;
+    double scale = 0.0;
+    std::uint64_t seed = 0;
+    /** Timed repeats per point (wallSeconds is the best of these). */
+    int repeat = 1;
+    std::vector<BenchMeasurement> points;
+
+    /** Serialize as one JSON object (stable field order). */
+    void toJson(std::ostream &os) const;
+    std::string toJson() const;
+
+    /**
+     * Write toJson() to @p path. Returns false with a description in
+     * @p err (if non-null) when the path cannot be created/written —
+     * the harness turns that into a clear CLI error, not a crash.
+     */
+    bool writeFile(const std::string &path,
+                   std::string *err = nullptr) const;
+};
+
+/**
+ * Minimal JSON document model for validation (objects, arrays,
+ * strings, numbers, bools, null — no NaN/Infinity, per the JSON
+ * grammar). Numbers are held as double.
+ */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> items; ///< Array elements.
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+};
+
+/** Parse @p text as a single JSON document. Returns false and sets
+ *  @p err (if non-null) on malformed input. */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string *err = nullptr);
+
+/** Outcome of validating a BENCH_*.json payload. */
+struct BenchValidation
+{
+    std::vector<std::string> errors;
+    bool ok() const { return errors.empty(); }
+};
+
+/**
+ * Validate @p json against the BENCH schema: required keys present
+ * and well-typed, schema_version in [1, kBenchSchemaVersion],
+ * non-empty points, and every throughput finite and strictly
+ * positive (a zero or NaN reading means the measurement loop or a
+ * zero-division slipped through — CI must fail, not archive it).
+ */
+BenchValidation validateBenchJson(const std::string &json);
+
+} // namespace gpummu
+
+#endif // SIM_PERF_REPORT_HH

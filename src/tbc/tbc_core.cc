@@ -356,7 +356,8 @@ TbcCore::tick(Cycle now)
 
     // Encode (block slot, warp index) into one scheduler id.
     constexpr int kStride = kSchedStride;
-    std::vector<int> issuable;
+    std::vector<int> &issuable = issuableScratch_;
+    issuable.clear();
     for (std::size_t b = 0; b < blocks_.size(); ++b) {
         TbcBlock &blk = blocks_[b];
         if (!blk.valid)

@@ -161,6 +161,8 @@ class TbcCore : public ShaderCore
     std::vector<TbcBlock> blocks_;
     unsigned liveBlocks_ = 0;
     WarpStallAccounting stalls_;
+    /** tick() scratch: issuable scheduler ids (see SimtCore). */
+    std::vector<int> issuableScratch_;
 
     Counter instrs_;
     Counter aluInstrs_;

@@ -205,6 +205,11 @@ class Telemetry
             boundary(now + 1);
     }
 
+    /** Cycle boundary the next interval closes at. The cycle loop
+     *  must not fast-forward past nextBoundary() - 1: the counters an
+     *  interval samples have to be fully charged before it closes. */
+    Cycle nextBoundary() const { return nextBoundary_; }
+
     /** End of run at @p cycles: close the partial tail interval and
      *  snapshot the per-reason stall-attribution totals. */
     void finish(Cycle cycles, const StatRegistry &reg);

@@ -87,12 +87,23 @@ class WarpStallAccounting
     void
     attribute(int warp, StallReason reason)
     {
+        attribute(warp, reason, 1);
+    }
+
+    /**
+     * Charge @p cycles cycles at once, used when the core
+     * fast-forwards through a quiescent window in which the warp
+     * would have received the same attribution every cycle.
+     */
+    void
+    attribute(int warp, StallReason reason, std::uint64_t cycles)
+    {
         if (reason == StallReason::None || warp < 0)
             return;
         const auto w = static_cast<std::size_t>(warp);
         if (w >= cells_.size())
             cells_.resize(w + 1);
-        ++cells_[w][static_cast<std::size_t>(reason)];
+        cells_[w][static_cast<std::size_t>(reason)] += cycles;
     }
 
     /** Total attributed cycles of one warp slot, all reasons. */

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for the slab/freelist Arena plus the whole-GPU
+ * differential check: arenas-on vs the plain-heap fallback must be
+ * bit-identical on every paper workload with the invariant checker
+ * armed. The hot-path rewrite (PR 6) is only allowed to change how
+ * fast the simulator runs, never what it computes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/presets.hh"
+#include "sim/arena.hh"
+
+using namespace gpummu;
+
+namespace {
+
+struct Payload
+{
+    explicit Payload(int v = 0) : value(v) { vec.assign(4, v); }
+    int value;
+    std::vector<int> vec;
+};
+
+/** Restore the process-wide pooling switch on scope exit so test
+ *  order cannot leak a fallback mode into unrelated tests. */
+struct PoolingGuard
+{
+    explicit PoolingGuard(bool pooled) { setArenaPooling(pooled); }
+    ~PoolingGuard() { setArenaPooling(true); }
+};
+
+} // namespace
+
+TEST(Arena, FreshSlabAllocatesInAscendingAddressOrder)
+{
+    PoolingGuard guard(true);
+    Arena<Payload> arena(8);
+    std::vector<Payload *> objs;
+    objs.push_back(arena.create(0));
+    for (int i = 1; i < 8; ++i) {
+        Payload *p = arena.create(i);
+        EXPECT_LT(objs.back(), p)
+            << "slab must be consumed front to back";
+        objs.push_back(p);
+    }
+    EXPECT_EQ(arena.slabCount(), 1u);
+    EXPECT_EQ(arena.live(), 8u);
+    for (Payload *p : objs)
+        arena.destroy(p);
+    EXPECT_EQ(arena.live(), 0u);
+}
+
+TEST(Arena, ReuseIsDeterministicLifo)
+{
+    PoolingGuard guard(true);
+    Arena<Payload> arena(8);
+    Payload *a = arena.create(1);
+    Payload *b = arena.create(2);
+    Payload *c = arena.create(3);
+    arena.destroy(b);
+    arena.destroy(a);
+    // LIFO: the most recently freed slot comes back first.
+    Payload *r1 = arena.create(4);
+    Payload *r2 = arena.create(5);
+    EXPECT_EQ(r1, a);
+    EXPECT_EQ(r2, b);
+    arena.destroy(r1);
+    arena.destroy(r2);
+    arena.destroy(c);
+    EXPECT_EQ(arena.live(), 0u);
+}
+
+TEST(Arena, SlabGrowthPreservesLiveObjects)
+{
+    PoolingGuard guard(true);
+    Arena<Payload> arena(4);
+    std::vector<Payload *> live;
+    for (int i = 0; i < 13; ++i)
+        live.push_back(arena.create(i));
+    EXPECT_GE(arena.slabCount(), 4u);
+    EXPECT_EQ(arena.capacity(), arena.slabCount() * 4);
+    for (int i = 0; i < 13; ++i) {
+        EXPECT_EQ(live[static_cast<std::size_t>(i)]->value, i)
+            << "slab growth must not move or corrupt live objects";
+        EXPECT_EQ(live[static_cast<std::size_t>(i)]->vec,
+                  std::vector<int>(4, i));
+    }
+    for (Payload *p : live)
+        arena.destroy(p);
+    EXPECT_EQ(arena.live(), 0u);
+}
+
+TEST(Arena, ArenaRcSharesAndReleasesOnce)
+{
+    PoolingGuard guard(true);
+    Arena<Payload> arena(4);
+    ArenaRc<Payload> h1 = arena.createRc(7);
+    {
+        ArenaRc<Payload> h2 = h1; // copy: refcount 2
+        EXPECT_EQ(h2->value, 7);
+        EXPECT_EQ(arena.live(), 1u);
+    }
+    EXPECT_EQ(arena.live(), 1u) << "inner copy must not release";
+    h1.reset();
+    EXPECT_EQ(arena.live(), 0u);
+}
+
+TEST(ArenaDeathTest, DoubleFreePanics)
+{
+    PoolingGuard guard(true);
+    Arena<Payload> arena(4);
+    Payload *p = arena.create(1);
+    arena.destroy(p);
+    EXPECT_DEATH(arena.destroy(p), "double-free");
+    // The slot is back on the freelist; reallocate and release it so
+    // teardown sees zero live objects in the parent process.
+    Payload *q = arena.create(2);
+    arena.destroy(q);
+}
+
+TEST(ArenaDeathTest, DestroyWithLiveHandlePanics)
+{
+    PoolingGuard guard(true);
+    Arena<Payload> arena(4);
+    ArenaRc<Payload> h = arena.createRc(1);
+    EXPECT_DEATH(arena.destroy(h.get()), "live ArenaRc");
+    h.reset();
+}
+
+TEST(ArenaDeathTest, LeakedObjectPanicsAtArenaTeardown)
+{
+    PoolingGuard guard(true);
+    EXPECT_DEATH(
+        {
+            Arena<Payload> arena(4);
+            arena.create(1); // never destroyed
+        },
+        "still live");
+}
+
+TEST(Arena, HeapFallbackMatchesPooledSemantics)
+{
+    PoolingGuard guard(false);
+    Arena<Payload> arena(4);
+    EXPECT_FALSE(arena.pooled());
+    EXPECT_EQ(arena.capacity(), 0u);
+    Payload *p = arena.create(3);
+    ArenaRc<Payload> h = arena.createRc(9);
+    EXPECT_EQ(p->value, 3);
+    EXPECT_EQ(h->value, 9);
+    EXPECT_EQ(arena.live(), 2u);
+    arena.destroy(p);
+    h.reset();
+    EXPECT_EQ(arena.live(), 0u);
+}
+
+/**
+ * The PR's contract, end to end: with the reference invariant
+ * checker armed, a full GPU simulation of every paper workload is
+ * bit-identical (aggregate stats AND the full registry JSON dump)
+ * whether the hot-path descriptors live in arenas or on the plain
+ * heap. Any arena bug that changed ordering or lifetimes would either
+ * panic the checker or break this byte comparison.
+ */
+TEST(Arena, FullGpuRunsAreBitIdenticalPooledVsHeap)
+{
+    WorkloadParams params;
+    params.scale = 0.1;
+    params.seed = 7;
+    SystemConfig cfg = presets::augmentedTlb();
+    cfg.checkInvariants = true;
+
+    for (BenchmarkId id : allBenchmarks()) {
+        RunOutput pooled;
+        RunOutput heap;
+        {
+            PoolingGuard guard(true);
+            pooled = runConfigFull(id, cfg, params);
+        }
+        {
+            PoolingGuard guard(false);
+            heap = runConfigFull(id, cfg, params);
+        }
+        EXPECT_TRUE(pooled.stats == heap.stats)
+            << benchmarkName(id) << ": aggregate stats diverge";
+        EXPECT_EQ(pooled.statsJson, heap.statsJson)
+            << benchmarkName(id) << ": registry dump diverges";
+    }
+}

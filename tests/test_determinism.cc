@@ -16,6 +16,8 @@
 
 #include "core/presets.hh"
 #include "core/sweep.hh"
+#include "sim/arena.hh"
+#include "telemetry/telemetry.hh"
 #include "trace/trace.hh"
 
 using namespace gpummu;
@@ -184,6 +186,82 @@ TEST(Determinism, ArmedTracingIsBitIdentical)
             << cfg.name;
         EXPECT_GT(sink.size(), 0u) << cfg.name;
     }
+}
+
+TEST(Determinism, ParallelJobsAgreeWithSerialUnderArenaPooling)
+{
+    // The hot-path re-architecture (arena-backed descriptors plus
+    // same-cycle event batching) must be invisible to the parallel
+    // runner: a 6-worker sweep and a 1-worker sweep, with pooling on
+    // and with the plain-heap fallback, all agree byte-for-byte.
+    struct PoolingGuard
+    {
+        explicit PoolingGuard(bool pooled) { setArenaPooling(pooled); }
+        ~PoolingGuard() { setArenaPooling(true); }
+    };
+
+    const auto cfg = paperDefault();
+    std::vector<SweepPoint> grid;
+    for (BenchmarkId id : allBenchmarks())
+        grid.push_back(SweepPoint{id, cfg});
+
+    std::vector<RunOutput> pooled_serial, pooled_par, heap_par;
+    {
+        PoolingGuard guard(true);
+        Experiment serial_exp(tinyParams());
+        pooled_serial = SweepRunner(serial_exp, 1).run(grid);
+        Experiment par_exp(tinyParams());
+        pooled_par = SweepRunner(par_exp, 6).run(grid);
+    }
+    {
+        PoolingGuard guard(false);
+        Experiment heap_exp(tinyParams());
+        heap_par = SweepRunner(heap_exp, 6).run(grid);
+    }
+
+    ASSERT_EQ(pooled_serial.size(), grid.size());
+    ASSERT_EQ(pooled_par.size(), grid.size());
+    ASSERT_EQ(heap_par.size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const std::string name = benchmarkName(grid[i].bench);
+        EXPECT_TRUE(pooled_serial[i].stats == pooled_par[i].stats)
+            << name << ": jobs=1 vs jobs=6 diverge with pooling on";
+        EXPECT_EQ(pooled_serial[i].statsJson, pooled_par[i].statsJson)
+            << name;
+        EXPECT_TRUE(pooled_par[i].stats == heap_par[i].stats)
+            << name << ": pooled vs heap fallback diverge";
+        EXPECT_EQ(pooled_par[i].statsJson, heap_par[i].statsJson)
+            << name;
+    }
+}
+
+TEST(Determinism, ArmedObserversComposeWithArenasAndBatchedDispatch)
+{
+    // Telemetry and tracing both hook the re-architected hot path
+    // (interval boundaries cap fast-forward windows; the trace sink
+    // sees arena-backed descriptors). Each armed run must still be
+    // bit-identical to the plain run on the modelled quantities.
+    const auto cfg = paperDefault();
+    const RunOutput plain =
+        runConfigFull(BenchmarkId::Memcached, cfg, tinyParams());
+
+    TelemetryConfig tcfg;
+    tcfg.sampleInterval = 2000;
+    Telemetry telemetry(tcfg);
+    const RunOutput armed = runConfigFull(
+        BenchmarkId::Memcached, cfg, tinyParams(), nullptr,
+        &telemetry);
+    EXPECT_TRUE(plain.stats == armed.stats)
+        << "telemetry perturbed an arena-pooled batched run";
+    EXPECT_EQ(plain.statsJson, armed.statsJson);
+
+    TraceSink sink;
+    const RunOutput traced = runConfigFull(
+        BenchmarkId::Memcached, cfg, tinyParams(), &sink);
+    EXPECT_TRUE(plain.stats == traced.stats)
+        << "tracing perturbed an arena-pooled batched run";
+    EXPECT_EQ(plain.statsJson, withoutTraceStats(traced.statsJson));
+    EXPECT_GT(sink.size(), 0u);
 }
 
 TEST(Determinism, SeedIsTheOnlyFreeVariable)

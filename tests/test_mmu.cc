@@ -131,6 +131,10 @@ TEST_F(MmuFixture, HitUnderMissKeepsTlbAvailable)
     EXPECT_TRUE(mmu.memAvailable());
     // But no miss-under-miss.
     EXPECT_FALSE(mmu.canStartMisses(1));
+    // Drain before teardown: in-flight walk state is arena-pooled
+    // inside the walker pool, which asserts nothing is live when it
+    // is destroyed.
+    eq.runUntil(1'000'000);
 }
 
 TEST_F(MmuFixture, MshrLimitBoundsMissSet)
