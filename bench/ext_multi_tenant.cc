@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Extension experiment: multi-tenant address translation.
+ *
+ * The paper's evaluation is single-process; its Section 2.2
+ * programmability argument (context switches, shootdowns, paging)
+ * is qualitative. This bench makes the OS side quantitative: two
+ * processes with overlapping virtual ranges time-share an IOMMU-mode
+ * GPU, demand-page their footprints, and pay context-switch,
+ * minor-fault and TLB-shootdown costs on the shared translation
+ * structures.
+ *
+ *   --scale=<f>                workload scale (default 0.05)
+ *   --seed=<n>                 workload seed
+ *   --bench-a/--bench-b=<name> the two tenants (default bfs +
+ *                              pathfinder, the irregular/regular pair)
+ *   --blocks-per-slice=<n>     time-slice quantum in thread blocks
+ *   --switch-penalty=<cycles>  IOMMU context-switch cost
+ *   --fault-latency=<cycles>   minor-fault service latency
+ *   --shootdown-base=<cycles>  fixed shootdown initiation cost
+ *   --shootdown-per-entry=<c>  per-invalidated-entry cost
+ *   --eager                    eagerly back regions (no demand paging)
+ *   --check                    arm the differential checker
+ *   --trace=<file>             re-run with event tracing armed
+ *   --sample-interval=<n>      telemetry interval for the re-run
+ *   --sample-out=<file>        interval series (.csv or .json)
+ *   --report=<file>            self-contained HTML run report
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/multi_tenant.hh"
+#include "core/presets.hh"
+#include "telemetry/report.hh"
+#include "telemetry/telemetry.hh"
+#include "trace/trace.hh"
+
+using namespace gpummu;
+
+namespace {
+
+BenchmarkId
+benchByName(const char *name)
+{
+    for (BenchmarkId id : allBenchmarks()) {
+        if (benchmarkName(id) == name)
+            return id;
+    }
+    std::cerr << "unknown benchmark: " << name << "\n";
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    MultiTenantConfig cfg = defaultMultiTenant(/*scale=*/0.05);
+    cfg.params.seed = 42;
+    std::string trace_file;
+    Cycle sample_interval = 0;
+    std::string sample_out;
+    std::string report_file;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&arg](const char *key) -> const char * {
+            const std::string k = std::string(key) + "=";
+            return arg.rfind(k, 0) == 0 ? arg.c_str() + k.size()
+                                        : nullptr;
+        };
+        if (const char *v = value("--scale")) {
+            cfg.params.scale = std::atof(v);
+        } else if (const char *v = value("--seed")) {
+            cfg.params.seed =
+                static_cast<std::uint64_t>(std::atoll(v));
+        } else if (const char *v = value("--bench-a")) {
+            cfg.tenants.at(0) = {benchByName(v), v};
+        } else if (const char *v = value("--bench-b")) {
+            cfg.tenants.at(1) = {benchByName(v), v};
+        } else if (const char *v = value("--blocks-per-slice")) {
+            cfg.blocksPerSlice =
+                static_cast<unsigned>(std::atoi(v));
+        } else if (const char *v = value("--switch-penalty")) {
+            cfg.os.switchPenalty = static_cast<Cycle>(std::atoll(v));
+        } else if (const char *v = value("--fault-latency")) {
+            cfg.os.faultLatency = static_cast<Cycle>(std::atoll(v));
+        } else if (const char *v = value("--shootdown-base")) {
+            cfg.os.shootdownBase = static_cast<Cycle>(std::atoll(v));
+        } else if (const char *v = value("--shootdown-per-entry")) {
+            cfg.os.shootdownPerEntry =
+                static_cast<Cycle>(std::atoll(v));
+        } else if (arg == "--eager") {
+            cfg.lazyBacking = false;
+        } else if (arg == "--check") {
+            cfg.system.checkInvariants = true;
+        } else if (const char *v = value("--trace")) {
+            trace_file = v;
+        } else if (const char *v = value("--sample-interval")) {
+            sample_interval = static_cast<Cycle>(std::atoll(v));
+        } else if (const char *v = value("--sample-out")) {
+            sample_out = v;
+        } else if (const char *v = value("--report")) {
+            report_file = v;
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            return 1;
+        }
+    }
+
+    std::cout << "=== Extension: multi-tenant IOMMU (shootdowns, "
+                 "faults, context switches) ===\nscale="
+              << cfg.params.scale << " tenants="
+              << cfg.tenants.at(0).name << "+"
+              << cfg.tenants.at(1).name
+              << " blocks/slice=" << cfg.blocksPerSlice
+              << (cfg.lazyBacking ? " demand-paged" : " eager")
+              << "\n\n";
+
+    const MultiTenantResult res = runMultiTenant(cfg);
+
+    std::cout << "tenant       asid  blocks  active-cycles  "
+                 "instructions  ipc\n";
+    std::cout << "------------------------------------------------"
+                 "---------\n";
+    for (const TenantResult &t : res.tenants) {
+        const double ipc =
+            t.activeCycles
+                ? static_cast<double>(t.instructions) /
+                      static_cast<double>(t.activeCycles)
+                : 0.0;
+        std::printf("%-12s %4u  %6llu  %13llu  %12llu  %.3f\n",
+                    t.name.c_str(), t.asid,
+                    static_cast<unsigned long long>(t.blocks),
+                    static_cast<unsigned long long>(t.activeCycles),
+                    static_cast<unsigned long long>(t.instructions),
+                    ipc);
+    }
+    const double hit_rate =
+        res.iommuLookups ? static_cast<double>(res.iommuHits) /
+                               static_cast<double>(res.iommuLookups)
+                         : 0.0;
+    std::cout << "\ntotal cycles      " << res.totalCycles
+              << "\nslices            " << res.slices
+              << "\ncontext switches  " << res.contextSwitches
+              << "\nshootdowns        " << res.shootdowns << " ("
+              << res.shootdownEntries << " entries)"
+              << "\nminor faults      " << res.faults
+              << "\n2M coalesces      " << res.coalesces
+              << " (splinters " << res.splinters << ")"
+              << "\niommu hit rate    " << hit_rate << "\n";
+
+    if (!trace_file.empty()) {
+        TraceSink sink;
+        runMultiTenant(cfg, &sink);
+        if (!sink.writeChromeTraceFile(trace_file)) {
+            std::cerr << "failed to write trace: " << trace_file
+                      << "\n";
+            return 1;
+        }
+        std::cerr << "trace: " << sink.size() << " events -> "
+                  << trace_file << "\n";
+    }
+    if (sample_interval != 0) {
+        TelemetryConfig tcfg;
+        tcfg.sampleInterval = sample_interval;
+        Telemetry telemetry(tcfg);
+        runMultiTenant(cfg, nullptr, &telemetry);
+        if (!sample_out.empty()) {
+            const bool csv =
+                sample_out.size() >= 4 &&
+                sample_out.compare(sample_out.size() - 4, 4,
+                                   ".csv") == 0;
+            const bool ok =
+                csv ? telemetry.writeCsvFile(sample_out)
+                    : telemetry.writeJsonFile(sample_out);
+            if (!ok) {
+                std::cerr << "failed to write samples: " << sample_out
+                          << "\n";
+                return 1;
+            }
+            std::cerr << "telemetry: "
+                      << telemetry.sampler().intervals().size()
+                      << " intervals -> " << sample_out << "\n";
+        }
+        if (!report_file.empty()) {
+            if (!writeHtmlReportFile(report_file, telemetry)) {
+                std::cerr << "report has an empty hot-page table: "
+                          << report_file << "\n";
+                return 1;
+            }
+            std::cerr << "report -> " << report_file << "\n";
+        }
+    }
+    return 0;
+}

@@ -5,12 +5,38 @@
 namespace gpummu {
 
 void
+InvariantChecker::addSpace(Asid asid, const PageTable &pt)
+{
+    GPUMMU_ASSERT(asid != primaryAsid_,
+                  "addSpace duplicates the primary ASID ", asid);
+    const bool fresh = pts_.emplace(asid, &pt).second;
+    GPUMMU_ASSERT(fresh, "addSpace called twice for ASID ", asid);
+    refs_.emplace(asid, RefTranslator(pt));
+}
+
+const RefTranslator &
+InvariantChecker::refFor(Asid asid) const
+{
+    if (asid == primaryAsid_)
+        return ref_;
+    auto it = refs_.find(asid);
+    GPUMMU_ASSERT(it != refs_.end(),
+                  "TLB tag composed with unregistered ASID ", asid);
+    return it->second;
+}
+
+void
 InvariantChecker::checkTranslation(Vpn tag, std::uint64_t frame_base,
                                    bool is_large, unsigned page_shift,
                                    const char *site)
 {
+    // Multi-process tags arrive ASID-composed; decompose and check
+    // against the owning process's reference walker. Legacy tags
+    // have asid 0 == primary and keyLocal is the identity.
+    const RefTranslator &ref = refFor(keyAsid(tag));
+    tag = keyLocal(tag);
     const unsigned expand = page_shift - kPageShift4K;
-    auto w = ref_.walk(tag << expand);
+    auto w = ref.walk(tag << expand);
     GPUMMU_ASSERT(w.has_value(), site, ": VPN ", tag,
                   " (shift ", page_shift,
                   ") translated by the timing path but unmapped in "
@@ -43,8 +69,10 @@ void
 InvariantChecker::onTlbHit(Vpn tag, std::uint64_t frame_base,
                            unsigned page_shift)
 {
+    const RefTranslator &ref = refFor(keyAsid(tag));
+    tag = keyLocal(tag);
     const unsigned expand = page_shift - kPageShift4K;
-    auto expected = ref_.frameBase(tag, page_shift);
+    auto expected = ref.frameBase(tag, page_shift);
     GPUMMU_ASSERT(expected.has_value(),
                   "TLB hit on unmapped VPN ", tag << expand);
     GPUMMU_ASSERT(frame_base == *expected, "TLB hit: VPN ", tag,
@@ -146,7 +174,10 @@ void
 InvariantChecker::onPagingLine(std::uint64_t line, unsigned line_shift)
 {
     const Ppn frame = (line << line_shift) >> kPageShift4K;
-    GPUMMU_ASSERT(pt_.isTableFrame(frame),
+    bool contained = pt_.isTableFrame(frame);
+    for (auto it = pts_.begin(); !contained && it != pts_.end(); ++it)
+        contained = it->second->isTableFrame(frame);
+    GPUMMU_ASSERT(contained,
                   "page-walk line ", line,
                   " outside every live paging-structure page");
     ++linesChecked_;

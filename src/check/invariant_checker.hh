@@ -48,8 +48,13 @@ namespace gpummu {
 class InvariantChecker
 {
   public:
-    explicit InvariantChecker(const PageTable &pt)
-        : pt_(pt), ref_(pt)
+    /**
+     * @param pt      the primary (or only) process's page table
+     * @param primary its ASID; 0 for legacy single-process runs,
+     *                where TLB tags arrive uncomposed
+     */
+    explicit InvariantChecker(const PageTable &pt, Asid primary = 0)
+        : pt_(pt), ref_(pt), primaryAsid_(primary)
     {
     }
 
@@ -57,6 +62,14 @@ class InvariantChecker
     InvariantChecker &operator=(const InvariantChecker &) = delete;
 
     const RefTranslator &ref() const { return ref_; }
+
+    /**
+     * Register a further process's page table. TLB tags for that
+     * process arrive ASID-composed (asidKey); each is re-derived
+     * against the owning process's own reference walker, so VPN
+     * collisions across processes cannot alias in the checker either.
+     */
+    void addSpace(Asid asid, const PageTable &pt);
 
     /** A translation entered the TLB (Tlb::fill). */
     void onTlbFill(Vpn tag, std::uint64_t frame_base, bool is_large,
@@ -118,8 +131,15 @@ class InvariantChecker
                           bool is_large, unsigned page_shift,
                           const char *site);
 
+    /** Reference walker owning @p asid's space (panics if unknown). */
+    const RefTranslator &refFor(Asid asid) const;
+
     const PageTable &pt_;
     RefTranslator ref_;
+    Asid primaryAsid_;
+    /** Further processes (multi-tenant runs): asid -> its walker. */
+    std::map<Asid, RefTranslator> refs_;
+    std::map<Asid, const PageTable *> pts_;
 
     /** VPN -> enqueued-but-not-completed walk count. */
     std::map<Vpn, std::uint64_t> outstandingWalks_;

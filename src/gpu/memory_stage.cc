@@ -101,7 +101,7 @@ MemoryStage::issue(int warp_id, bool is_store,
         GPUMMU_ASSERT(mmu_.config().hitUnderMiss,
                       "core must gate blocking TLBs on memAvailable()");
         for (const auto &pg : acc.pages) {
-            if (!mmu_.tlb().probe(pg.vpn)) {
+            if (!mmu_.probeTlb(pg.vpn)) {
                 tlbBounces_.inc();
                 return MemIssueResult::BlockedTlbBusy;
             }
@@ -154,7 +154,7 @@ MemoryStage::issue(int warp_id, bool is_store,
         if (const L2Tlb *l2 = mmu_.l2Tlb()) {
             bool covered = true;
             for (Vpn v : miss_vpns)
-                covered = covered && l2->probe(v);
+                covered = covered && l2->probe(asidKey(mmu_.asid(), v));
             if (covered)
                 lastIssueReason_ = StallReason::L2Tlb;
         }
@@ -300,9 +300,13 @@ MemoryStage::issueIommu(int warp_id, bool is_store,
     for (const auto &pg : acc.pages) {
         bool page_missed = false;
         for (std::uint64_t vline : pg.vlines) {
-            auto out = l1_.access(vline, is_store, now, warp_id);
+            // Virtual line ids are ASID-composed: co-scheduled
+            // tenants with overlapping VAs must not hit each other's
+            // lines in the virtually addressed L1.
+            const std::uint64_t vkey = asidKey(asid_, vline);
+            auto out = l1_.access(vkey, is_store, now, warp_id);
             while (out.needRetry) {
-                out = l1_.access(vline, is_store, out.readyAt,
+                out = l1_.access(vkey, is_store, out.readyAt,
                                  warp_id);
             }
             noteOutcome(out, is_store);
@@ -338,7 +342,7 @@ MemoryStage::issueIommu(int warp_id, bool is_store,
     pending->remaining = missing_pages.size();
     for (Vpn vpn : missing_pages) {
         iommu_->translate(
-            vpn, now + mem_defaults.icntLatency,
+            asidKey(asid_, vpn), now + mem_defaults.icntLatency,
             [pending, refetch](std::uint64_t, Cycle done) {
                 pending->ready =
                     std::max(pending->ready, done + refetch);

@@ -71,6 +71,14 @@ class MemoryStage
      */
     void setIommu(Iommu *iommu) { iommu_ = iommu; }
 
+    /**
+     * Owning process of this core's current kernel (multi-tenant
+     * IOMMU runs). Composed into the virtual L1 line ids and the
+     * IOMMU translate keys so co-scheduled tenants with overlapping
+     * VAs cannot alias; 0 (default) is the identity.
+     */
+    void setAsid(Asid asid) { asid_ = asid; }
+
     /** Optional CPM hook for TLB-aware TBC. */
     void
     setTlbHitHistoryHook(TlbHitHistoryFn fn)
@@ -172,6 +180,7 @@ class MemoryStage
     int traceTid_ = 0;
     HeatProfiler *heat_ = nullptr;
     StallReason lastIssueReason_ = StallReason::None;
+    Asid asid_ = 0;
 
     /** Pools for the pending descriptors above. Walk callbacks held
      *  by the Mmu/walkers carry ArenaRc handles into these; a

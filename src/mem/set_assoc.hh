@@ -140,6 +140,31 @@ class SetAssocArray
             set.clear();
     }
 
+    /**
+     * Remove every entry matching pred(tag, payload) — a targeted
+     * shootdown (e.g. one ASID's range). Returns the victims in
+     * (set, MRU->LRU) order so callers can report each eviction;
+     * surviving entries keep their LRU order.
+     */
+    template <typename Pred>
+    std::vector<Victim>
+    removeIf(Pred &&pred)
+    {
+        std::vector<Victim> victims;
+        for (auto &set : sets_) {
+            for (std::size_t i = 0; i < set.size();) {
+                if (pred(set[i].tag, set[i].payload)) {
+                    victims.push_back(Victim{
+                        set[i].tag, std::move(set[i].payload)});
+                    set.erase(set.begin() + static_cast<long>(i));
+                } else {
+                    ++i;
+                }
+            }
+        }
+        return victims;
+    }
+
     /** Number of currently valid entries. */
     std::size_t
     occupancy() const

@@ -47,6 +47,8 @@ struct IommuConfig
     bool checkInvariants = false;
 };
 
+class ProcessManager;
+
 /**
  * One IOMMU shared by every shader core of the GPU.
  */
@@ -60,11 +62,25 @@ class Iommu
           EventQueue &eq);
 
     /**
-     * Translate @p vpn (4KB granularity) for a request arriving at
-     * the controller at @p now. The callback fires synchronously on
-     * a TLB hit and at walk completion otherwise.
+     * Translate @p key for a request arriving at the controller at
+     * @p now. The key is an ASID-composed 4KB VPN (plain VPN in
+     * single-process runs, where the ASID half is 0). The callback
+     * fires synchronously on a TLB hit and at walk completion
+     * otherwise. In multi-process mode a touch of an
+     * unmapped-but-reserved page raises a minor fault: the OS
+     * handler's service latency elapses, the page is faulted in, and
+     * the walk then proceeds (the retry).
      */
-    void translate(Vpn vpn, Cycle now, DoneFn done);
+    void translate(Vpn key, Cycle now, DoneFn done);
+
+    /**
+     * Enter multi-process mode: translate() keys may carry any ASID
+     * registered with @p pm, each resolved against the owning
+     * process's page table, and demand faults are serviced through
+     * pm's OS cost model. The armed checker learns every process's
+     * reference walker.
+     */
+    void attachProcesses(ProcessManager *pm);
 
     Tlb &tlb() { return tlb_; }
     PageWalkers &walkers() { return walkers_; }
@@ -97,14 +113,22 @@ class Iommu
     std::uint64_t hits() const { return tlb_.hits(); }
 
   private:
+    /** The address space owning @p asid (as_ or one of pm_'s). */
+    AddressSpace &spaceFor(Asid asid);
+
+    /** Issue the page walk for @p key (post-lookup, post-fault). */
+    void issueWalk(Vpn key, Cycle at, Cycle started);
+
     IommuConfig cfg_;
     AddressSpace &as_;
+    EventQueue &eq_;
+    ProcessManager *pm_ = nullptr;
     std::unique_ptr<InvariantChecker> checker_;
     Tlb tlb_;
     PageWalkers walkers_;
     Cycle portFreeAt_ = 0;
 
-    /** Waiters for in-flight walks, merged per VPN. */
+    /** Waiters for in-flight walks, merged per composed key. */
     std::map<Vpn, std::vector<DoneFn>> outstanding_;
 
     Counter mergedWalks_;

@@ -143,7 +143,13 @@ L2Tlb::install(Vpn tag, const Translation &t)
 void
 L2Tlb::fill(Vpn tag, const Translation &t, Cycle ready)
 {
-    install(tag, t);
+    // A shootdown between the MSHR's walk issue and this fill poisons
+    // the tag: the walk read the page table while the mapping was
+    // live, so its waiters are still woken (their access predates the
+    // unmap), but the now-stale translation must not be installed.
+    const bool poisoned = poisoned_.erase(tag) != 0;
+    if (!poisoned)
+        install(tag, t);
     auto it = mshrs_.find(tag);
     GPUMMU_ASSERT(it != mshrs_.end(),
                   "L2 TLB fill for VPN ", tag, " without an MSHR");
@@ -194,11 +200,43 @@ L2Tlb::flush()
     }
 }
 
+std::size_t
+L2Tlb::invalidateMatching(const std::function<bool(std::uint64_t)> &pred)
+{
+    auto victims = array_.removeIf(
+        [&pred](std::uint64_t tag, const Translation &) {
+            return pred(tag);
+        });
+    for (const auto &v : victims) {
+        if (trace_)
+            trace_->instant(TraceCat::L2Tlb, "l2tlb_evict", traceTid_,
+                            "vpn", v.tag);
+        if (onEvict_)
+            onEvict_(v.tag);
+    }
+    for (const auto &[tag, waiters] : mshrs_) {
+        (void)waiters;
+        if (pred(tag))
+            poisoned_.insert(tag);
+    }
+    return victims.size();
+}
+
+void
+L2Tlb::addCheckedSpace(Asid asid, const PageTable &pt)
+{
+    if (checker_)
+        checker_->addSpace(asid, pt);
+}
+
 void
 L2Tlb::checkEndOfKernel() const
 {
     if (!checker_)
         return;
+    GPUMMU_ASSERT(poisoned_.empty(), poisoned_.size(),
+                  " poisoned MSHR tags never filled (first ",
+                  poisoned_.empty() ? 0 : *poisoned_.begin(), ")");
     GPUMMU_ASSERT(mshrs_.empty(), mshrs_.size(),
                   " translation MSHRs still live at kernel end "
                   "(first VPN ",

@@ -32,6 +32,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -132,6 +133,27 @@ class L2Tlb
      *  MSHRs are unaffected; their walks re-derive fresh entries. */
     void flush();
 
+    /**
+     * Targeted shootdown: drop every resident entry whose composed
+     * tag matches @p pred, and *poison* matching in-flight MSHRs —
+     * their walk read the page table before the unmap, so its fill()
+     * still wakes the waiters (the translation was valid when the
+     * walk was issued) but must not install a now-stale entry.
+     * Returns the number of resident entries invalidated.
+     */
+    std::size_t invalidateMatching(
+        const std::function<bool(std::uint64_t)> &pred);
+
+    /** Tags poisoned by a shootdown whose fill has not landed yet. */
+    std::size_t poisonedMshrs() const { return poisoned_.size(); }
+
+    /**
+     * Register another process's page table with the armed checker
+     * (multi-process runs fill with ASID-composed tags). No-op
+     * unarmed.
+     */
+    void addCheckedSpace(Asid asid, const PageTable &pt);
+
     /** (evicted VPN tag, unused) - mirrors Tlb's listener shape. */
     using EvictionListener = std::function<void(Vpn)>;
     void
@@ -206,6 +228,10 @@ class L2Tlb
     /** In-flight translation MSHRs: tag -> wakeup list. The first
      *  waiter's Mmu owns the walk. */
     std::map<Vpn, std::vector<WakeFn>> mshrs_;
+
+    /** MSHR tags hit by a shootdown mid-walk: fill() wakes but does
+     *  not install. std::set for deterministic iteration. */
+    std::set<Vpn> poisoned_;
 
     EvictionListener onEvict_;
     TraceSink *trace_ = nullptr;

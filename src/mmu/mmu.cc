@@ -9,11 +9,12 @@ Mmu::Mmu(const MmuConfig &cfg, AddressSpace &as, MemorySystem &mem,
          EventQueue &eq)
     : cfg_(cfg), as_(as),
       pageShift_(as.usesLargePages() ? kPageShift2M : kPageShift4K),
-      tlb_(cfg.tlb), walkers_(cfg.ptw, as.pageTable(), mem, eq)
+      asid_(as.asid()), tlb_(cfg.tlb),
+      walkers_(cfg.ptw, as.pageTable(), mem, eq)
 {
     if (cfg_.checkInvariants) {
-        checker_ =
-            std::make_unique<InvariantChecker>(as_.pageTable());
+        checker_ = std::make_unique<InvariantChecker>(
+            as_.pageTable(), asid_);
         tlb_.setChecker(checker_.get(), pageShift_);
         walkers_.setChecker(checker_.get());
     }
@@ -45,9 +46,10 @@ Mmu::lookupBatchInto(BatchResult &out, const std::vector<Vpn> &vpns,
     out.allHit = true;
     out.lookups.reserve(vpns.size());
     for (Vpn vpn : vpns) {
-        auto res = tlb_.lookup(vpn, warp_id);
+        auto res = tlb_.lookup(asidKey(asid_, vpn), warp_id);
         if (res.hit && checker_)
-            checker_->onTlbHit(vpn, res.ppn, pageShift_);
+            checker_->onTlbHit(asidKey(asid_, vpn), res.ppn,
+                               pageShift_);
         VpnLookup vl;
         vl.vpn = vpn;
         vl.hit = res.hit;
@@ -129,11 +131,18 @@ Mmu::resolveWalk(Vpn vpn4k)
     return {frame_base, t.isLarge};
 }
 
+bool
+Mmu::probeTlb(Vpn vpn) const
+{
+    return tlb_.probe(asidKey(asid_, vpn));
+}
+
 void
 Mmu::finishWalk(Vpn tag, std::uint64_t frame_base, bool is_large,
                 int warp_id, Cycle finish)
 {
-    tlb_.fill(tag, Translation{frame_base, is_large}, warp_id);
+    tlb_.fill(asidKey(asid_, tag), Translation{frame_base, is_large},
+              warp_id);
 
     auto it = outstanding_.find(tag);
     GPUMMU_ASSERT(it != outstanding_.end(),
@@ -169,8 +178,8 @@ Mmu::issueWalks(const std::vector<Vpn> &tags, int warp_id, Cycle at,
     for (Vpn tag : tags)
         walk_vpns.push_back(tag << expand);
 
-    walkers_.requestBatch(
-        walk_vpns, at,
+    walkers_.requestBatchFor(
+        as_.pageTable(), asid_, walk_vpns, at,
         [this, warp_id,
          bypass_tags = std::move(bypass_tags)](Vpn vpn4k,
                                                Cycle finish) {
@@ -181,14 +190,15 @@ Mmu::issueWalks(const std::vector<Vpn> &tags, int warp_id, Cycle at,
             } else if (bypass_tags && bypass_tags->contains(tag)) {
                 // Walked uncovered (MSHR file was full): install the
                 // result for later requesters, complete ourselves.
-                l2_->fillBypass(
-                    tag, Translation{frame_base, is_large}, finish);
+                l2_->fillBypass(asidKey(asid_, tag),
+                                Translation{frame_base, is_large},
+                                finish);
                 finishWalk(tag, frame_base, is_large, warp_id, finish);
             } else {
                 // The fill wakes every core merged behind the MSHR,
                 // including this one (its wakeup runs finishWalk).
-                l2_->fill(tag, Translation{frame_base, is_large},
-                          finish);
+                l2_->fill(asidKey(asid_, tag),
+                          Translation{frame_base, is_large}, finish);
             }
         });
 }
@@ -229,10 +239,10 @@ Mmu::requestWalks(const std::vector<Vpn> &vpns, int warp_id, Cycle now,
     Cycle walk_at = now;
     for (Vpn tag : to_walk) {
         auto res = l2_->access(
-            tag, now,
+            asidKey(asid_, tag), now,
             [this, warp_id](Vpn t, std::uint64_t frame, bool large,
                             Cycle ready) {
-                finishWalk(t, frame, large, warp_id, ready);
+                finishWalk(keyLocal(t), frame, large, warp_id, ready);
             });
         switch (res.outcome) {
           case L2Tlb::Outcome::Hit:

@@ -175,6 +175,17 @@ class Mmu
     bool missOutstanding() const { return !outstanding_.empty(); }
     std::size_t outstandingCount() const { return outstanding_.size(); }
 
+    /**
+     * Residency probe by local VPN. The L1 TLB stores ASID-composed
+     * tags in multi-process runs; callers holding plain VPNs (the
+     * memory stage's bounce check) must come through here rather than
+     * tlb().probe().
+     */
+    bool probeTlb(Vpn vpn) const;
+
+    /** The address space this MMU translates for. */
+    Asid asid() const { return asid_; }
+
     Tlb &tlb() { return tlb_; }
     const Tlb &tlb() const { return tlb_; }
     PageWalkers &walkers() { return walkers_; }
@@ -283,6 +294,9 @@ class Mmu
     MmuConfig cfg_;
     AddressSpace &as_;
     unsigned pageShift_;
+    /** Owning process; composed into every TLB/L2/checker key
+     *  (identity for the legacy single-process ASID 0). */
+    Asid asid_;
     std::unique_ptr<InvariantChecker> checker_;
     /** Declared before walkers_: walk callbacks hold ArenaRc handles
      *  into it, so it must be destroyed after them. */

@@ -63,15 +63,34 @@ void
 PageWalkers::requestBatch(const std::vector<Vpn> &vpns, Cycle now,
                           DoneFn done)
 {
+    requestBatchFor(pt_, 0, vpns, now, std::move(done));
+}
+
+void
+PageWalkers::requestBatchFor(const PageTable &pt, Asid asid,
+                             const std::vector<Vpn> &vpns, Cycle now,
+                             DoneFn done)
+{
     for (Vpn vpn : vpns) {
         if (checker_)
-            checker_->onWalkEnqueued(vpn);
+            checker_->onWalkEnqueued(asidKey(asid, vpn));
         if (trace_)
             trace_->instantAt(TraceCat::Ptw, "walk_enqueue",
                               traceTid_, now, "vpn", vpn);
-        queue_.push_back(PendingWalk{vpn, now, done});
+        queue_.push_back(PendingWalk{vpn, now, done, &pt, asid});
     }
     pump(now);
+}
+
+std::size_t
+PageWalkers::invalidatePagingLines(const PageTable &pt)
+{
+    const auto victims =
+        pwc_.removeIf([&pt](std::uint64_t line, const Cycle &) {
+            return pt.isTableFrame((line << kLineShift) >>
+                                   kPageShift4K);
+        });
+    return victims.size();
 }
 
 void
@@ -97,7 +116,7 @@ PageWalkers::startNaive(unsigned w, Cycle now)
     batch->pool = this;
     PendingWalk walk = std::move(queue_.front());
     queue_.pop_front();
-    const WalkPath path = pt_.walk(walk.vpn);
+    const WalkPath path = walk.pt->walk(walk.vpn);
     for (unsigned level = 0; level < path.levels; ++level) {
         BatchRef ref;
         ref.line = lineAddrOf(path.entryAddrs[level]);
@@ -130,7 +149,8 @@ PageWalkers::startScheduledBatch(unsigned w, Cycle now)
     while (!queue_.empty()) {
         batch->walks.push_back(std::move(queue_.front()));
         queue_.pop_front();
-        paths.push_back(pt_.walk(batch->walks.back().vpn));
+        const PendingWalk &walk = batch->walks.back();
+        paths.push_back(walk.pt->walk(walk.vpn));
     }
     inFlight_ += static_cast<unsigned>(batch->walks.size());
     if (trace_) {
@@ -206,7 +226,7 @@ PageWalkers::fireWalkDone(void *ctx, Cycle now)
                               pool->traceTid_, pool->inFlight_);
     }
     if (pool->checker_)
-        pool->checker_->onWalkCompleted(ev->vpn);
+        pool->checker_->onWalkCompleted(asidKey(ev->asid, ev->vpn));
     // Move the callback out before releasing the node: done() may
     // start new walks, and the recycled slot must be free for them.
     DoneFn done = std::move(ev->done);
@@ -243,13 +263,14 @@ PageWalkers::stepLevel(unsigned w, ActiveBatch *batch, Cycle now)
             walks_.inc();
             walkLatency_.sample(ready - walk.enqueued);
             if (heat_)
-                heat_->onWalkComplete(walk.vpn, heatTid_,
-                                      walk.enqueued, ready);
+                heat_->onWalkComplete(asidKey(walk.asid, walk.vpn),
+                                      heatTid_, walk.enqueued, ready);
             // Each walk finishes exactly once, so its done callback
             // can move into the completion node.
             WalkDone *ev = doneArena_.create();
             ev->pool = this;
             ev->vpn = walk.vpn;
+            ev->asid = walk.asid;
             ev->ready = ready;
             ev->enqueued = walk.enqueued;
             ev->done = std::move(walk.done);

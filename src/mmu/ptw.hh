@@ -82,6 +82,28 @@ class PageWalkers
     void requestBatch(const std::vector<Vpn> &vpns, Cycle now,
                       DoneFn done);
 
+    /**
+     * Multi-process variant: walk @p vpns through an explicit page
+     * table on behalf of @p asid. Checker and heat-profiler keys are
+     * ASID-composed so concurrent processes cannot alias; the done
+     * callback still receives the local VPN. requestBatch() is the
+     * (pt constructor-bound, asid 0) special case. Walks from
+     * different spaces coalesce in one scheduled batch only when
+     * their paging-structure lines physically coincide — they never
+     * do, as each table owns its frames.
+     */
+    void requestBatchFor(const PageTable &pt, Asid asid,
+                         const std::vector<Vpn> &vpns, Cycle now,
+                         DoneFn done);
+
+    /**
+     * Shootdown hook: drop every walk-cache line backed by one of
+     * @p pt's paging-structure pages (an unmap may retire table pages
+     * by coalescing, and the IPI contract flushes the leaf lines).
+     * Returns the number of lines invalidated.
+     */
+    std::size_t invalidatePagingLines(const PageTable &pt);
+
     /** True while any walk is in flight or queued. */
     bool busy() const { return inFlight_ > 0 || !queue_.empty(); }
 
@@ -149,6 +171,9 @@ class PageWalkers
         Vpn vpn;
         Cycle enqueued;
         DoneFn done;
+        /** Radix this walk traverses (multi-process: per-walk). */
+        const PageTable *pt = nullptr;
+        Asid asid = 0;
     };
 
     /** One page-table reference of an in-flight walk/batch. */
@@ -184,6 +209,7 @@ class PageWalkers
     {
         PageWalkers *pool = nullptr;
         Vpn vpn = 0;
+        Asid asid = 0;
         Cycle ready = 0;
         Cycle enqueued = 0;
         DoneFn done;

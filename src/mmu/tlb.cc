@@ -102,6 +102,24 @@ Tlb::checkSweep() const
     checker_->endTlbSweep();
 }
 
+std::size_t
+Tlb::invalidateMatching(
+    const std::function<bool(std::uint64_t, const TlbEntryInfo &)> &pred)
+{
+    // Same listener discipline as flush(): every discarded entry is
+    // an eviction the schedulers' bookkeeping must see.
+    auto victims = array_.removeIf(pred);
+    for (const auto &v : victims) {
+        if (trace_)
+            trace_->instant(TraceCat::Tlb, "tlb_evict", traceTid_,
+                            "vpn", v.tag);
+        if (onEvict_)
+            onEvict_(v.tag, v.payload.allocWarp);
+    }
+    checkSweep();
+    return victims.size();
+}
+
 void
 Tlb::flush()
 {

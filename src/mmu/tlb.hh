@@ -83,6 +83,17 @@ class Tlb
      *  a capacity eviction. */
     void flush();
 
+    /**
+     * Targeted shootdown: drop every entry whose (tag, payload)
+     * matches @p pred, reporting each through the eviction listener.
+     * Returns the number of entries invalidated (the per-entry
+     * shootdown cost multiplier). Tags are ASID-composed keys in
+     * multi-process runs.
+     */
+    std::size_t invalidateMatching(
+        const std::function<bool(std::uint64_t,
+                                 const TlbEntryInfo &)> &pred);
+
     /** (evicted VPN, warp that allocated the entry). */
     using EvictionListener = std::function<void(Vpn, int)>;
 

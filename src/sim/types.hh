@@ -36,6 +36,42 @@ inline constexpr std::uint64_t kPageSize4K = 1ULL << kPageShift4K;
 inline constexpr unsigned kPageShift2M = 21;
 inline constexpr std::uint64_t kPageSize2M = 1ULL << kPageShift2M;
 
+/** Address-space identifier. 0 is the legacy single-process space. */
+using Asid = std::uint32_t;
+
+/**
+ * ASID-composed cache/TLB keys. TLBs, the shared L2 TLB and the
+ * checker index entries by a single uint64; multi-process runs fold
+ * the owning ASID into bits above every in-use address field so VPNs
+ * from different processes can never alias. Bit 44 clears 4KB VPNs
+ * (36 bits), 2MB tags (27 bits) and 128B virtual line ids (41 bits),
+ * and composition is the identity for ASID 0 — single-process runs
+ * produce bit-identical keys to the pre-ASID code.
+ */
+inline constexpr unsigned kAsidKeyShift = 44;
+inline constexpr std::uint64_t kAsidKeyMask =
+    (std::uint64_t(1) << kAsidKeyShift) - 1;
+
+inline constexpr std::uint64_t
+asidKey(Asid asid, std::uint64_t local)
+{
+    return (std::uint64_t(asid) << kAsidKeyShift) | local;
+}
+
+/** ASID half of a composed key (0 for legacy uncomposed keys). */
+inline constexpr Asid
+keyAsid(std::uint64_t key)
+{
+    return static_cast<Asid>(key >> kAsidKeyShift);
+}
+
+/** Local (VPN/tag/line) half of a composed key. */
+inline constexpr std::uint64_t
+keyLocal(std::uint64_t key)
+{
+    return key & kAsidKeyMask;
+}
+
 } // namespace gpummu
 
 #endif // SIM_TYPES_HH

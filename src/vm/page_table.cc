@@ -33,14 +33,52 @@ PageTable::childTable(std::size_t tid, unsigned idx)
                       "walking through a 2MB leaf");
         return static_cast<std::size_t>(slot);
     }
-    tables_.emplace_back();
-    tables_.back().frame = phys_.allocFrame();
-    const std::size_t child = tables_.size() - 1;
+    std::size_t child;
+    if (!freeTables_.empty()) {
+        // Reuse a page retired by coalesce2M: same table id, same
+        // backing frame, slots already reset.
+        child = freeTables_.back();
+        freeTables_.pop_back();
+    } else {
+        tables_.emplace_back();
+        tables_.back().frame = phys_.allocFrame();
+        child = tables_.size() - 1;
+    }
     // Note: emplace_back may have moved tables_, re-index the parent.
     tables_[child].level = tables_[tid].level + 1;
     tables_[tid].slots[idx] = static_cast<std::int64_t>(child);
     frameToTable_.emplace(tables_[child].frame, child);
     return child;
+}
+
+std::int64_t
+PageTable::findLeafTable(Vpn vpn) const
+{
+    std::size_t tid = 0;
+    for (unsigned level = 0; level + 1 < kWalkLevels4K; ++level) {
+        const auto &t = tables_[tid];
+        const unsigned idx = radixIndex(vpn, level);
+        const std::int64_t slot = t.slots[idx];
+        if (slot < 0 || t.largeLeaf[idx])
+            return -1;
+        tid = static_cast<std::size_t>(slot);
+    }
+    return static_cast<std::int64_t>(tid);
+}
+
+std::int64_t
+PageTable::findPdTable(std::uint64_t vpn2m) const
+{
+    const Vpn vpn = vpn2m << (kPageShift2M - kPageShift4K);
+    std::size_t tid = 0;
+    for (unsigned level = 0; level < kWalkLevels2M - 1; ++level) {
+        const std::int64_t slot =
+            tables_[tid].slots[radixIndex(vpn, level)];
+        if (slot < 0)
+            return -1;
+        tid = static_cast<std::size_t>(slot);
+    }
+    return static_cast<std::int64_t>(tid);
 }
 
 RawEntry
@@ -100,6 +138,107 @@ PageTable::map2M(std::uint64_t vpn2m, Ppn base_ppn)
     GPUMMU_ASSERT(pd.slots[idx] < 0, "2MB VPN ", vpn2m, " already mapped");
     pd.slots[idx] = static_cast<std::int64_t>(base_ppn);
     pd.largeLeaf[idx] = true;
+}
+
+Ppn
+PageTable::unmap4K(Vpn vpn)
+{
+    const std::int64_t tid = findLeafTable(vpn);
+    GPUMMU_ASSERT(tid >= 0, "unmap4K on VPN ", vpn,
+                  " with no 4KB leaf (unmapped or 2MB-backed)");
+    auto &leaf = tables_[static_cast<std::size_t>(tid)];
+    const unsigned idx = radixIndex(vpn, kWalkLevels4K - 1);
+    const std::int64_t slot = leaf.slots[idx];
+    GPUMMU_ASSERT(slot >= 0, "unmap4K on unmapped VPN ", vpn);
+    leaf.slots[idx] = -1;
+    return static_cast<Ppn>(slot);
+}
+
+Ppn
+PageTable::unmap2M(std::uint64_t vpn2m)
+{
+    const std::int64_t tid = findPdTable(vpn2m);
+    GPUMMU_ASSERT(tid >= 0, "unmap2M on unmapped 2MB VPN ", vpn2m);
+    auto &pd = tables_[static_cast<std::size_t>(tid)];
+    const Vpn vpn = vpn2m << (kPageShift2M - kPageShift4K);
+    const unsigned idx = radixIndex(vpn, kWalkLevels2M - 1);
+    GPUMMU_ASSERT(pd.slots[idx] >= 0 && pd.largeLeaf[idx],
+                  "unmap2M on non-2MB mapping at ", vpn2m);
+    const Ppn base = static_cast<Ppn>(pd.slots[idx]);
+    pd.slots[idx] = -1;
+    pd.largeLeaf[idx] = false;
+    return base;
+}
+
+void
+PageTable::splinter2M(std::uint64_t vpn2m)
+{
+    const std::int64_t pd_tid = findPdTable(vpn2m);
+    GPUMMU_ASSERT(pd_tid >= 0, "splinter2M on unmapped 2MB VPN ", vpn2m);
+    const Vpn vpn = vpn2m << (kPageShift2M - kPageShift4K);
+    const unsigned idx = radixIndex(vpn, kWalkLevels2M - 1);
+    {
+        const auto &pd = tables_[static_cast<std::size_t>(pd_tid)];
+        GPUMMU_ASSERT(pd.slots[idx] >= 0 && pd.largeLeaf[idx],
+                      "splinter2M on non-2MB mapping at ", vpn2m);
+    }
+    const Ppn base =
+        static_cast<Ppn>(tables_[static_cast<std::size_t>(pd_tid)].slots[idx]);
+    // Demote the leaf to a child pointer, then fill the fresh PT page
+    // with the identical 4KB translations. childTable may reallocate
+    // tables_, so take references only after it returns.
+    tables_[static_cast<std::size_t>(pd_tid)].slots[idx] = -1;
+    tables_[static_cast<std::size_t>(pd_tid)].largeLeaf[idx] = false;
+    const std::size_t pt = childTable(static_cast<std::size_t>(pd_tid), idx);
+    auto &leaf = tables_[pt];
+    for (unsigned i = 0; i < 512; ++i)
+        leaf.slots[i] = static_cast<std::int64_t>(base + i);
+}
+
+bool
+PageTable::coalesce2M(std::uint64_t vpn2m)
+{
+    const std::int64_t pd_tid = findPdTable(vpn2m);
+    if (pd_tid < 0)
+        return false;
+    auto &pd = tables_[static_cast<std::size_t>(pd_tid)];
+    const Vpn vpn = vpn2m << (kPageShift2M - kPageShift4K);
+    const unsigned idx = radixIndex(vpn, kWalkLevels2M - 1);
+    const std::int64_t child = pd.slots[idx];
+    if (child < 0 || pd.largeLeaf[idx])
+        return false;
+    auto &pt = tables_[static_cast<std::size_t>(child)];
+    const std::int64_t base = pt.slots[0];
+    if (base < 0 ||
+        (static_cast<Ppn>(base) & ((kPageSize2M / kPageSize4K) - 1)) != 0)
+        return false;
+    for (unsigned i = 0; i < 512; ++i)
+        if (pt.slots[i] != base + i)
+            return false;
+    // Promote: retire the PT page onto the freelist and make the PD
+    // slot a 2MB leaf over the same contiguous frames. The frame
+    // stays registered as a paging-structure page: walks dispatched
+    // before the promotion may still reference its lines, so teardown
+    // is deferred the way an OS grace-periods page-table frees (the
+    // freelist reuses it for the next table instead of returning it).
+    pt.slots.fill(-1);
+    pt.largeLeaf.fill(false);
+    freeTables_.push_back(static_cast<std::size_t>(child));
+    pd.slots[idx] = base;
+    pd.largeLeaf[idx] = true;
+    return true;
+}
+
+bool
+PageTable::isLargeMapped(std::uint64_t vpn2m) const
+{
+    const std::int64_t tid = findPdTable(vpn2m);
+    if (tid < 0)
+        return false;
+    const auto &pd = tables_[static_cast<std::size_t>(tid)];
+    const Vpn vpn = vpn2m << (kPageShift2M - kPageShift4K);
+    const unsigned idx = radixIndex(vpn, kWalkLevels2M - 1);
+    return pd.slots[idx] >= 0 && pd.largeLeaf[idx];
 }
 
 std::optional<Translation>

@@ -85,6 +85,40 @@ class PageTable
      */
     void map2M(std::uint64_t vpn2m, Ppn base_ppn);
 
+    /**
+     * Unmap one 4KB virtual page; returns the freed frame. The VPN
+     * must be present as a 4KB leaf (splinter a covering 2MB leaf
+     * first). The PT page is kept even when it empties: walk-cache
+     * invalidation keys off live frames, and real OSes also defer
+     * paging-structure teardown past the shootdown.
+     */
+    Ppn unmap4K(Vpn vpn);
+
+    /** Unmap one 2MB leaf; returns its (aligned) base frame. */
+    Ppn unmap2M(std::uint64_t vpn2m);
+
+    /**
+     * Splinter a 2MB leaf into 512 4KB PTEs over the same frames
+     * (Mosaic-style, triggered by a partial unmap). The translation
+     * of every covered 4KB VPN is unchanged; only isLarge flips.
+     */
+    void splinter2M(std::uint64_t vpn2m);
+
+    /**
+     * Coalesce 512 contiguous 4KB PTEs into one 2MB PD leaf
+     * (Mosaic-style promotion). Requires the full PT page populated
+     * with slots[i] == slots[0] + i and a 2MB-aligned slots[0]; the
+     * freed PT page goes on a freelist for reuse. Returns false
+     * (without modifying anything) when the range is not coalescible.
+     */
+    bool coalesce2M(std::uint64_t vpn2m);
+
+    /**
+     * Is @p vpn2m currently backed by a 2MB PD leaf? (False when
+     * unmapped or splintered into 4KB PTEs.)
+     */
+    bool isLargeMapped(std::uint64_t vpn2m) const;
+
     /** Functional translation of a 4KB VPN; nullopt if unmapped. */
     std::optional<Translation> translate(Vpn vpn) const;
 
@@ -99,8 +133,11 @@ class PageTable
     /** Physical byte address of the root (CR3 analogue). */
     PhysAddr rootAddr() const;
 
-    /** Number of table pages allocated (all levels). */
-    std::uint64_t tablePages() const { return tables_.size(); }
+    /** Number of live table pages (all levels, minus the freelist). */
+    std::uint64_t tablePages() const
+    {
+        return tables_.size() - freeTables_.size();
+    }
 
     /**
      * Read one raw entry by its physical byte address, the way an
@@ -147,12 +184,24 @@ class PageTable
     /** Get or create the child table under table @p tid slot @p idx. */
     std::size_t childTable(std::size_t tid, unsigned idx);
 
+    /** Descend to the PT page covering @p vpn; -1 if absent. */
+    std::int64_t findLeafTable(Vpn vpn) const;
+
+    /** Descend to the PD page covering @p vpn2m; -1 if absent. */
+    std::int64_t findPdTable(std::uint64_t vpn2m) const;
+
     PhysAddr entryAddr(const TablePage &t, unsigned idx) const;
 
     PhysicalMemory &phys_;
     std::vector<TablePage> tables_; ///< index 0 is the root (PML4)
     /** Backing frame -> index in tables_, for readEntry. */
     std::unordered_map<Ppn, std::size_t> frameToTable_;
+    /**
+     * Table ids retired by coalesce2M, reused (frame and all) by the
+     * next childTable allocation. A vector erase would renumber every
+     * parent slot pointing into tables_, so retired pages stay put.
+     */
+    std::vector<std::size_t> freeTables_;
 };
 
 } // namespace gpummu

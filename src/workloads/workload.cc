@@ -33,6 +33,18 @@ benchmarkName(BenchmarkId id)
     GPUMMU_PANIC("unknown benchmark id");
 }
 
+std::vector<BenchmarkId>
+defaultTenantPair()
+{
+    // The canonical co-schedule for multi-tenant runs: bfs (irregular,
+    // TLB-hostile pointer chasing) beside pathfinder (regular grid
+    // sweeps). The contrast makes cross-tenant interference on the
+    // shared IOMMU TLB visible: the regular tenant suffers the
+    // irregular one's evictions without the pair saturating the
+    // walkers outright.
+    return {BenchmarkId::Bfs, BenchmarkId::Pathfinder};
+}
+
 std::unique_ptr<Workload>
 makeWorkload(BenchmarkId id, const WorkloadParams &params)
 {

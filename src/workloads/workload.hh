@@ -73,6 +73,10 @@ enum class BenchmarkId
 /** All benchmarks in the paper's presentation order. */
 std::vector<BenchmarkId> allBenchmarks();
 
+/** The default multi-tenant pairing: one irregular benchmark (bfs)
+ *  co-scheduled with one regular one (pathfinder). */
+std::vector<BenchmarkId> defaultTenantPair();
+
 std::string benchmarkName(BenchmarkId id);
 
 /** Instantiate one benchmark model. */

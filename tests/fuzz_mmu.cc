@@ -14,7 +14,12 @@
  *     retired translation (hit or walk) is compared against the
  *     reference, with the invariant checker armed throughout and
  *     end-of-kernel drain checks at the end.
- *  3. Full-stack fuzz: one small benchmark run through the whole GPU
+ *  3. Multi-process lifecycle fuzz: 2-4 demand-paged processes with
+ *     overlapping virtual ranges share one armed IOMMU; translates,
+ *     minor faults, partial unmaps with shootdowns and process
+ *     destruction interleave, with every completion differentially
+ *     verified against the owning process's page table.
+ *  4. Full-stack fuzz: one small benchmark run through the whole GPU
  *     (cores, schedulers, caches, per-core MMUs or the shared IOMMU)
  *     at a random design point with SystemConfig::checkInvariants on.
  *
@@ -42,9 +47,11 @@
 #include "check/ref_translator.hh"
 #include "core/presets.hh"
 #include "core/sweep.hh"
+#include "mmu/iommu.hh"
 #include "mmu/mmu.hh"
 #include "sim/rng.hh"
 #include "vm/address_space.hh"
+#include "vm/process.hh"
 
 using namespace gpummu;
 
@@ -438,6 +445,204 @@ fuzzFullStack(std::uint64_t seed, Rng &rng)
         fail("full-stack run retired no cycles");
 }
 
+/**
+ * Phase 4: multi-process lifecycle fuzz. 2-4 demand-paged processes
+ * with overlapping virtual ranges share one armed IOMMU; random
+ * translates (minor faults included), direct fault-ins, partial
+ * unmaps with shootdowns, and process destruction interleave. Every
+ * completed translation is differentially checked against the owning
+ * process's page table, the armed checker cross-checks every fill
+ * against the per-ASID reference walkers, and survivors' entries must
+ * outlive their neighbours' shootdowns.
+ */
+void
+fuzzMultiProcess(std::uint64_t seed, Rng &rng)
+{
+    const unsigned nproc = 2 + static_cast<unsigned>(rng.below(3));
+    OsConfig os;
+    os.switchPenalty = rng.range(0, 4000);
+    os.faultLatency = rng.range(100, 8000);
+    os.shootdownBase = rng.range(0, 1000);
+    os.shootdownPerEntry = rng.range(1, 16);
+    setContext(seed, "multi-process fuzz: procs=" +
+                         std::to_string(nproc) + " faultLat=" +
+                         std::to_string(os.faultLatency) +
+                         " shoot=" + std::to_string(os.shootdownBase) +
+                         "+" + std::to_string(os.shootdownPerEntry) +
+                         "/entry");
+
+    PhysicalMemory phys(1ULL << 20, rng.chance(0.5),
+                        splitMix64(seed ^ 2));
+    ProcessManager pm(phys, os);
+    MemorySystem mem((MemorySystemConfig()));
+    EventQueue eq;
+
+    struct Proc
+    {
+        Process *p;
+        std::vector<VmRegion> regions;
+        bool alive = true;
+    };
+    std::vector<Proc> procs;
+    for (unsigned i = 0; i < nproc; ++i) {
+        Process &p = pm.create(std::string("p") + std::to_string(i),
+                               false, /*lazy=*/true);
+        Proc entry{&p, {}, true};
+        const unsigned nregions = 1 + static_cast<unsigned>(rng.below(2));
+        for (unsigned r = 0; r < nregions; ++r)
+            entry.regions.push_back(p.as.mmap(
+                std::string("r") + std::to_string(r),
+                rng.range(4, 96) * kPageSize4K));
+        procs.push_back(std::move(entry));
+    }
+
+    IommuConfig icfg;
+    icfg.tlb = randomTlb(rng);
+    icfg.ptw = randomPtw(rng);
+    icfg.checkInvariants = true;
+    Iommu iommu(icfg, procs.front().p->as, mem, eq);
+    iommu.attachProcesses(&pm);
+    pm.addTlbTarget(&iommu.tlb(), kPageShift4K);
+    pm.addWalkerTarget(&iommu.walkers());
+
+    auto randomVpn = [&rng](const Proc &pr) {
+        const VmRegion &r = pr.regions[rng.below(pr.regions.size())];
+        return (r.base >> kPageShift4K) +
+               rng.below(r.bytes >> kPageShift4K);
+    };
+    auto alive = [&procs, &rng]() -> Proc & {
+        for (;;) {
+            Proc &pr = procs[rng.below(procs.size())];
+            if (pr.alive && !pr.regions.empty())
+                return pr;
+        }
+    };
+
+    Cycle now = 0;
+    std::uint64_t issued = 0, completed = 0;
+    // Drain every in-flight walk and fault retry; unmaps must never
+    // race a walk that already snapshotted its page-table path.
+    auto drain = [&]() {
+        now += os.faultLatency + 200'000;
+        eq.runUntil(now);
+    };
+
+    const unsigned ops = static_cast<unsigned>(rng.range(80, 240));
+    for (unsigned op = 0; op < ops; ++op) {
+        const double dice = rng.uniform();
+        if (dice < 0.70) {
+            // Translate: either faults in (reserved, unmapped) or
+            // walks/hits. At completion the page must be mapped and
+            // the frame must match the owner's table - never a
+            // neighbour's, however the VPNs overlap.
+            Proc &pr = alive();
+            const Vpn vpn = randomVpn(pr);
+            const Asid asid = pr.p->asid;
+            const AddressSpace *as = &pr.p->as;
+            ++issued;
+            iommu.translate(
+                asidKey(asid, vpn), now,
+                [&completed, as, vpn, asid](std::uint64_t frame,
+                                            Cycle) {
+                    auto t = as->pageTable().translate(vpn);
+                    if (!t)
+                        fail("ASID " + std::to_string(asid) +
+                             " completion on unmapped vpn " +
+                             std::to_string(vpn));
+                    if (t->ppn != frame)
+                        fail("ASID " + std::to_string(asid) + " vpn " +
+                             std::to_string(vpn) + " frame " +
+                             std::to_string(frame) + " != table " +
+                             std::to_string(t->ppn));
+                    ++completed;
+                });
+            now += rng.range(1, 50);
+            eq.runUntil(now);
+        } else if (dice < 0.80) {
+            // OS-side fault-in with no translation in flight for it.
+            Proc &pr = alive();
+            pr.p->as.faultIn(randomVpn(pr));
+        } else if (dice < 0.90) {
+            // Partial unmap + shootdown of a small aligned subrange.
+            drain();
+            Proc &pr = alive();
+            const VmRegion &r =
+                pr.regions[rng.below(pr.regions.size())];
+            const std::uint64_t pages = r.bytes >> kPageShift4K;
+            const std::uint64_t lo = rng.below(pages);
+            const std::uint64_t len =
+                1 + rng.below(std::min<std::uint64_t>(8, pages - lo));
+            pr.p->as.munmapRange(r.base + lo * kPageSize4K,
+                                 len * kPageSize4K);
+            const Vpn vlo = (r.base >> kPageShift4K) + lo;
+            now = pm.shootdown(pr.p->asid, vlo, vlo + len, now);
+            for (Vpn v = vlo; v < vlo + len; ++v) {
+                if (iommu.tlb().probe(asidKey(pr.p->asid, v)))
+                    fail("shootdown left ASID " +
+                         std::to_string(pr.p->asid) + " vpn " +
+                         std::to_string(v) + " in the IOMMU TLB");
+            }
+        } else if (dice < 0.95 && procs.size() > 2) {
+            // Destroy one process outright; survivors keep running.
+            drain();
+            std::vector<std::size_t> alive_idx;
+            for (std::size_t i = 0; i < procs.size(); ++i)
+                if (procs[i].alive)
+                    alive_idx.push_back(i);
+            if (alive_idx.size() > 2) {
+                Proc &pr =
+                    procs[alive_idx[rng.below(alive_idx.size())]];
+                now = pm.destroy(pr.p->asid, now);
+                pr.alive = false;
+                if (!pr.p->as.regions().empty())
+                    fail("destroy left regions behind");
+            }
+        } else {
+            drain();
+        }
+    }
+
+    drain();
+    if (completed != issued)
+        fail("translate conservation: issued " +
+             std::to_string(issued) + ", completed " +
+             std::to_string(completed));
+    iommu.checkEndOfKernel();
+    const InvariantChecker *chk = iommu.checker();
+    if (chk == nullptr || chk->fillsChecked() == 0)
+        fail("armed multi-process run saw no checked fills");
+
+    // Survivors' residency outlives every neighbour's teardown: one
+    // last translate per live process must still verify.
+    for (Proc &pr : procs) {
+        if (!pr.alive)
+            continue;
+        const Vpn vpn = randomVpn(pr);
+        const AddressSpace *as = &pr.p->as;
+        bool done = false;
+        iommu.translate(asidKey(pr.p->asid, vpn), now,
+                        [&done, as, vpn](std::uint64_t frame, Cycle) {
+                            auto t = as->pageTable().translate(vpn);
+                            if (!t || t->ppn != frame)
+                                fail(std::string("post-teardown "
+                                                 "verify failed at "
+                                                 "vpn ") +
+                                     std::to_string(vpn));
+                            done = true;
+                        });
+        drain();
+        if (!done)
+            fail("post-teardown translate never completed");
+    }
+
+    // Full teardown balances the books.
+    for (Proc &pr : procs)
+        if (pr.alive)
+            now = pm.destroy(pr.p->asid, now);
+    if (pm.shootdowns() == 0 || pm.faults() == 0)
+        fail("lifecycle fuzz exercised no shootdowns or faults");
+}
+
 } // namespace
 
 int
@@ -473,6 +678,7 @@ main(int argc, char **argv)
             fuzzFunctional(s, rng);
             if (!functional_only) {
                 fuzzMmuDirect(s, rng);
+                fuzzMultiProcess(s, rng);
                 fuzzFullStack(s, rng);
             }
         } catch (const std::exception &e) {
@@ -492,7 +698,7 @@ main(int argc, char **argv)
     std::cout << "fuzz_mmu: all " << seeds << " seeds passed ("
               << (functional_only ? "functional only"
                                   : "functional + directed + "
-                                    "full-stack")
+                                    "multi-process + full-stack")
               << ")\n";
     return 0;
 }

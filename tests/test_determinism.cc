@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/multi_tenant.hh"
 #include "core/presets.hh"
 #include "core/sweep.hh"
 #include "sim/arena.hh"
@@ -262,6 +263,77 @@ TEST(Determinism, ArmedObserversComposeWithArenasAndBatchedDispatch)
         << "tracing perturbed an arena-pooled batched run";
     EXPECT_EQ(plain.statsJson, withoutTraceStats(traced.statsJson));
     EXPECT_GT(sink.size(), 0u);
+}
+
+namespace {
+
+MultiTenantConfig
+tinyMultiTenant()
+{
+    MultiTenantConfig cfg = defaultMultiTenant(/*scale=*/0.02);
+    cfg.system.numCores = 2;
+    cfg.params.seed = 42;
+    cfg.blocksPerSlice = 2;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Determinism, MultiTenantReplaysIdentically)
+{
+    // The multi-tenant runner adds OS-side state the single-process
+    // paths never touch: demand-fault scheduling, shootdown ordering,
+    // slice interleaving. All of it must replay exactly.
+    const MultiTenantConfig cfg = tinyMultiTenant();
+    const MultiTenantResult a = runMultiTenant(cfg);
+    const MultiTenantResult b = runMultiTenant(cfg);
+
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.slices, b.slices);
+    EXPECT_EQ(a.faults, b.faults);
+    EXPECT_EQ(a.shootdowns, b.shootdowns);
+    EXPECT_EQ(a.shootdownEntries, b.shootdownEntries);
+    EXPECT_EQ(a.eventsFired, b.eventsFired);
+    EXPECT_EQ(a.statsJson, b.statsJson);
+}
+
+TEST(Determinism, MultiTenantArmedCheckerIsBitIdentical)
+{
+    // Arming the differential checker across every tenant's reference
+    // walker must not perturb the run (per-ASID fills, MSHR poison
+    // bookkeeping and fault retries are all observation-checked).
+    const MultiTenantConfig plain_cfg = tinyMultiTenant();
+    MultiTenantConfig armed_cfg = plain_cfg;
+    armed_cfg.system.checkInvariants = true;
+
+    const MultiTenantResult plain = runMultiTenant(plain_cfg);
+    const MultiTenantResult armed = runMultiTenant(armed_cfg);
+    EXPECT_EQ(plain.totalCycles, armed.totalCycles);
+    EXPECT_EQ(plain.statsJson, armed.statsJson);
+}
+
+TEST(Determinism, MultiTenantArmedObserversAreBitIdentical)
+{
+    // Tracing and telemetry hook the persistent shared structures
+    // (memory system, IOMMU) across slice teardown; both must stay
+    // observation-only.
+    const MultiTenantConfig cfg = tinyMultiTenant();
+    const MultiTenantResult plain = runMultiTenant(cfg);
+
+    TraceSink sink;
+    const MultiTenantResult traced = runMultiTenant(cfg, &sink);
+    EXPECT_EQ(plain.totalCycles, traced.totalCycles);
+    EXPECT_EQ(plain.statsJson, withoutTraceStats(traced.statsJson));
+    EXPECT_GT(sink.size(), 0u);
+
+    TelemetryConfig tcfg;
+    tcfg.sampleInterval = 2000;
+    Telemetry telemetry(tcfg);
+    const MultiTenantResult sampled =
+        runMultiTenant(cfg, nullptr, &telemetry);
+    EXPECT_EQ(plain.totalCycles, sampled.totalCycles);
+    EXPECT_EQ(plain.statsJson, sampled.statsJson);
+    EXPECT_GT(telemetry.sampler().intervals().size(), 0u);
 }
 
 TEST(Determinism, SeedIsTheOnlyFreeVariable)

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "core/multi_tenant.hh"
 #include "core/presets.hh"
 #include "core/sweep.hh"
 
@@ -133,6 +134,40 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<GoldenCase> &info) {
         return info.param.label;
     });
+
+TEST(GoldenStatsMultiTenant, DumpMatchesGoldenByteForByte)
+{
+    // The multi-tenant runner at the same pin-point: two demand-paged
+    // tenants with overlapping VAs time-share an IOMMU GPU. Pins the
+    // ASID key plumbing, fault/shootdown/context-switch accounting
+    // and slice interleaving ("os.*"/"mt.*" counters) byte-for-byte.
+    MultiTenantConfig cfg = defaultMultiTenant(goldenParams().scale);
+    cfg.params = goldenParams();
+    cfg.system.numCores = 4;
+    cfg.blocksPerSlice = 2;
+
+    const MultiTenantResult res = runMultiTenant(cfg);
+    const std::string current = res.statsJson + "\n";
+    const std::string path =
+        std::string(GPUMMU_GOLDEN_DIR) + "/multi_tenant.json";
+
+    if (update_golden) {
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(f.good()) << "cannot write " << path;
+        f << current;
+        SUCCEED() << "updated " << path;
+        return;
+    }
+
+    const std::string golden = readFile(path);
+    ASSERT_FALSE(golden.empty())
+        << "missing golden " << path
+        << "; run test_golden_stats --update-golden";
+    EXPECT_EQ(golden, current)
+        << "multi-tenant simulated behaviour changed; if "
+           "intentional, regenerate with --update-golden and review "
+           "the diff";
+}
 
 int
 main(int argc, char **argv)
