@@ -1,6 +1,10 @@
 #include "core/sweep.hh"
 
+#include <charconv>
 #include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <system_error>
 
 namespace gpummu {
 
@@ -10,10 +14,20 @@ resolveJobs(unsigned requested)
     if (requested > 0)
         return requested;
     if (const char *env = std::getenv("GPUMMU_JOBS")) {
-        const long v = std::atol(env);
-        if (v > 0)
-            return static_cast<unsigned>(v);
-        warn("ignoring GPUMMU_JOBS=", env, " (want a positive int)");
+        // Strict parse: the whole string must be one in-range
+        // positive integer. atol() silently accepted trailing garbage
+        // ("4abc" -> 4) and has undefined behavior on out-of-range
+        // input, so a typo'd environment could pick an arbitrary
+        // worker count without a word; now it warns and falls back.
+        unsigned v = 0;
+        const char *end = env + std::strlen(env);
+        const auto [ptr, ec] = std::from_chars(env, end, v);
+        if (ec == std::errc() && ptr == end && v > 0)
+            return v;
+        warn("ignoring GPUMMU_JOBS=", env,
+             " (want a positive integer with no trailing ",
+             "characters, at most ",
+             std::numeric_limits<unsigned>::max(), ")");
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;

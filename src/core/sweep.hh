@@ -46,6 +46,35 @@ struct SweepPoint
 unsigned resolveJobs(unsigned requested);
 
 /**
+ * Joins every still-joinable thread it owns on destruction.
+ *
+ * parallelMap spawns its workers into one of these so that an
+ * exception thrown while the pool is still being built — std::thread
+ * construction throws std::system_error under resource exhaustion,
+ * which a large --jobs can reach — unwinds through a join of the
+ * already-running workers. Destroying a joinable std::thread calls
+ * std::terminate, so without this guard a mid-loop spawn failure
+ * killed the process instead of surfacing the exception.
+ */
+class ThreadJoiner
+{
+  public:
+    ThreadJoiner() = default;
+    ThreadJoiner(const ThreadJoiner &) = delete;
+    ThreadJoiner &operator=(const ThreadJoiner &) = delete;
+
+    ~ThreadJoiner()
+    {
+        for (auto &t : threads) {
+            if (t.joinable())
+                t.join();
+        }
+    }
+
+    std::vector<std::thread> threads;
+};
+
+/**
  * Run fn(0) .. fn(n-1) on up to @p jobs worker threads and return
  * the results indexed by submission order. jobs <= 1 runs inline on
  * the calling thread with no pool at all, which is the serial
@@ -76,24 +105,34 @@ parallelMap(unsigned jobs, std::size_t n, Fn &&fn)
 
     std::atomic<std::size_t> next{0};
     std::vector<std::exception_ptr> errors(n);
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-        pool.emplace_back([&] {
-            while (true) {
-                const std::size_t i =
-                    next.fetch_add(1, std::memory_order_relaxed);
-                if (i >= n)
-                    return;
-                try {
-                    out[i] = fn(i);
-                } catch (...) {
-                    errors[i] = std::current_exception();
+    ThreadJoiner pool;
+    pool.threads.reserve(workers);
+    try {
+        for (std::size_t w = 0; w < workers; ++w) {
+            pool.threads.emplace_back([&] {
+                while (true) {
+                    const std::size_t i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= n)
+                        return;
+                    try {
+                        out[i] = fn(i);
+                    } catch (...) {
+                        errors[i] = std::current_exception();
+                    }
                 }
-            }
-        });
+            });
+        }
+    } catch (...) {
+        // Thread construction failed mid-loop. Stop handing out new
+        // work so the survivors drain quickly, then let the
+        // ThreadJoiner join them as the exception unwinds — the
+        // lambdas capture this frame's locals by reference, so they
+        // must be dead before the frame goes.
+        next.store(n, std::memory_order_relaxed);
+        throw;
     }
-    for (auto &t : pool)
+    for (auto &t : pool.threads)
         t.join();
     for (const auto &e : errors) {
         if (e)

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Pareto design-space autotuner (ROADMAP item 4).
+ *
+ * Sweeps a DseGrid over one benchmark through the memoized
+ * Experiment/SweepRunner substrate, scores every point as
+ * (execution cycles, CACTI-style area estimate), and extracts the
+ * exact Pareto frontier. Sweeps are resumable: every point is keyed
+ * by the stable dsePointKey hash of (benchmark, params, cores,
+ * knobs), results persist to a schema-versioned byte-stable JSON
+ * file, and a re-run fed that file via resume only simulates the
+ * points it is missing — same contract as Accel-Sim-style DSE
+ * tooling, where thousand-point sweeps die and restart.
+ *
+ * Byte stability: the emitted JSON depends only on (grid, benchmark,
+ * params, cores) and the deterministic simulation results. Points are
+ * sorted by key; integer metrics re-emit as integers; the only
+ * doubles either re-derive from integers or round-trip through
+ * jsonNum's shortest to_chars spelling, which reparses to the same
+ * double. A fresh sweep and a fully-cached resume therefore produce
+ * byte-identical files (tests/test_dse.cc pins this).
+ */
+
+#ifndef DSE_AUTOTUNER_HH
+#define DSE_AUTOTUNER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "dse/cost.hh"
+#include "dse/grid.hh"
+
+namespace gpummu {
+
+/** Version of the DSE frontier/cache JSON schema this checkout
+ *  writes; validation accepts [1, kDseSchemaVersion]. */
+inline constexpr int kDseSchemaVersion = 1;
+
+/** The per-point simulation results the cache persists. */
+struct DsePointMetrics
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t tlbAccesses = 0;
+    std::uint64_t tlbHits = 0;
+    std::uint64_t walkRefsIssued = 0;
+    double avgTlbMissLatency = 0.0;
+};
+
+/** One scored design point of a finished sweep. */
+struct DsePointResult
+{
+    std::string key; ///< dsePointKey hex identity
+    DseKnobs knobs;
+    DsePointMetrics metrics;
+    double area = 0.0;
+    bool pareto = false;
+};
+
+struct DseOptions
+{
+    BenchmarkId bench = BenchmarkId::Bfs;
+    WorkloadParams params;
+    /** Shader cores per simulated design (small by default so
+     *  thousand-point grids stay tractable; relative orderings are
+     *  what the frontier consumes). */
+    unsigned numCores = 8;
+    /** Sweep worker threads; 0 resolves via GPUMMU_JOBS. */
+    unsigned jobs = 0;
+    DseCostModel cost;
+};
+
+struct DseResult
+{
+    DseOptions opt;
+    std::string gridSpec;
+    /** Every grid point, sorted by key. */
+    std::vector<DsePointResult> points;
+    /** Indices into points, the exact Pareto set (area, cycles). */
+    std::vector<std::size_t> frontier;
+    /** Points actually simulated this run vs. reused from cache. */
+    std::size_t simulated = 0;
+    std::size_t reused = 0;
+};
+
+/**
+ * Run the sweep: look every grid point up in @p cache (key ->
+ * metrics, as loaded by loadDseCache), simulate only the misses on
+ * the SweepRunner pool, score and extract the frontier.
+ */
+DseResult runDse(const DseGrid &grid, const DseOptions &opt,
+                 const std::map<std::string, DsePointMetrics> &cache =
+                     {});
+
+/** Serialize a finished sweep as the schema-versioned JSON payload
+ *  (one line per point, byte-stable). */
+std::string emitDseJson(const DseResult &r);
+
+/**
+ * Parse a previously emitted payload into a resume cache. Points are
+ * admitted purely by key — the hash embeds benchmark/params/knobs,
+ * so entries from a different setup simply never match. Returns
+ * false with @p err on malformed input (a corrupt cache must fail
+ * loudly, not resume from garbage).
+ */
+bool loadDseCache(const std::string &json,
+                  std::map<std::string, DsePointMetrics> &out,
+                  std::string *err = nullptr);
+
+/** Outcome of validating a DSE JSON payload. */
+struct DseValidation
+{
+    std::vector<std::string> errors;
+    bool ok() const { return errors.empty(); }
+};
+
+/**
+ * Validate a payload against the schema: required keys well-typed,
+ * schema_version in range, points non-empty with positive cycles and
+ * finite positive areas, the frontier list non-empty, every frontier
+ * key present among the points, and the per-point pareto flags
+ * exactly consistent with the frontier list.
+ */
+DseValidation validateDseJson(const std::string &json);
+
+} // namespace gpummu
+
+#endif // DSE_AUTOTUNER_HH

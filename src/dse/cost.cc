@@ -1,0 +1,28 @@
+#include "dse/cost.hh"
+
+namespace gpummu {
+
+double
+DseCostModel::area(const DseKnobs &k, unsigned num_cores) const
+{
+    // Per-core: the L1 TLB CAM, the PWC (a small SRAM of PTE lines),
+    // and the walker pool. Scheduled walking uses one walker plus
+    // its batch queue.
+    double per_core =
+        cacti.camArea(k.tlbEntries, k.tlbPorts);
+    if (k.pwcLines > 0)
+        per_core += cacti.ramArea(k.pwcLines * ptesPerPwcLine, 1);
+    if (k.walkSched)
+        per_core += walkerArea + schedulerArea;
+    else
+        per_core += walkerArea * k.walkers;
+
+    // Shared, once per GPU: the L2 TLB SRAM.
+    double shared = 0.0;
+    if (k.l2tlbEntries > 0)
+        shared += cacti.ramArea(k.l2tlbEntries, k.l2tlbPorts);
+
+    return per_core * num_cores + shared;
+}
+
+} // namespace gpummu

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Area scoring for the design-space autotuner.
+ *
+ * Builds the second Pareto axis: a relative silicon-area estimate of
+ * one design point's translation hardware, composed from the
+ * CactiModel array primitives the paper sizes TLBs with. The unit is
+ * the paper's baseline L1 structure — a 128-entry single-ported CAM
+ * = 1.0 — and everything is per-GPU: per-core structures (L1 TLB,
+ * PWC, walkers) multiply by the core count, the shared L2 TLB is
+ * counted once. The absolute numbers are deliberately coarse (this
+ * is a pathfinding model, as in the Kim/Cox/Kim/Bhattacharjee DSE
+ * study), but the *ordering* between design points is what the
+ * frontier consumes, and that is monotone in every knob.
+ */
+
+#ifndef DSE_COST_HH
+#define DSE_COST_HH
+
+#include "dse/grid.hh"
+#include "mmu/cacti_model.hh"
+
+namespace gpummu {
+
+struct DseCostModel
+{
+    CactiModel cacti;
+
+    /** Area of one walker state machine (registers + comparators). */
+    double walkerArea = 0.25;
+    /** Extra area of the batch-coalescing walk scheduler's queue. */
+    double schedulerArea = 0.5;
+    /** PTEs per page-walk-cache line (a 64B line of 8B PTEs). */
+    std::size_t ptesPerPwcLine = 8;
+
+    /** Translation-hardware area of one whole GPU design point. */
+    double area(const DseKnobs &k, unsigned num_cores) const;
+};
+
+} // namespace gpummu
+
+#endif // DSE_COST_HH

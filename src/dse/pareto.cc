@@ -1,0 +1,49 @@
+#include "dse/pareto.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace gpummu {
+
+bool
+paretoDominates(const ParetoPoint &a, const ParetoPoint &b)
+{
+    return a.x <= b.x && a.y <= b.y && (a.x < b.x || a.y < b.y);
+}
+
+std::vector<std::size_t>
+paretoFrontier(const std::vector<ParetoPoint> &pts)
+{
+    std::vector<std::size_t> order(pts.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&pts](std::size_t a, std::size_t b) {
+                  if (pts[a].x != pts[b].x)
+                      return pts[a].x < pts[b].x;
+                  if (pts[a].y != pts[b].y)
+                      return pts[a].y < pts[b].y;
+                  return a < b;
+              });
+
+    // Sweep in x order keeping the running y minimum: a point
+    // survives iff its y beats every cheaper-or-equal-x point seen so
+    // far, or it is an exact duplicate of the survivor that set the
+    // current minimum (duplicates do not dominate each other).
+    std::vector<std::size_t> frontier;
+    double best_x = std::numeric_limits<double>::quiet_NaN();
+    double best_y = std::numeric_limits<double>::infinity();
+    for (std::size_t idx : order) {
+        const ParetoPoint &p = pts[idx];
+        if (p.y < best_y) {
+            frontier.push_back(idx);
+            best_x = p.x;
+            best_y = p.y;
+        } else if (p.y == best_y && p.x == best_x) {
+            frontier.push_back(idx); // exact duplicate survives
+        }
+    }
+    return frontier;
+}
+
+} // namespace gpummu

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Exact Pareto-frontier extraction for design-space exploration.
+ *
+ * The autotuner scores every design point on two axes that both want
+ * minimizing — execution cycles (perf) and estimated silicon area —
+ * and keeps exactly the points no other point dominates. Dominance is
+ * the usual weak form: a dominates b when a is no worse on both axes
+ * and strictly better on at least one. Duplicate points (equal on
+ * both axes) never dominate each other, so every copy of a frontier
+ * point stays on the frontier; a tie on one axis alone is still a
+ * strict improvement on the other and eliminates the loser.
+ */
+
+#ifndef DSE_PARETO_HH
+#define DSE_PARETO_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace gpummu {
+
+/** One candidate, both axes minimized. */
+struct ParetoPoint
+{
+    double x = 0.0; ///< e.g. area estimate
+    double y = 0.0; ///< e.g. execution cycles
+};
+
+/** True when @p a dominates @p b (minimization on both axes). */
+bool paretoDominates(const ParetoPoint &a, const ParetoPoint &b);
+
+/**
+ * Indices of the non-dominated points of @p pts, sorted by
+ * (x, y, index) so the result is deterministic regardless of input
+ * order. O(n log n). An empty input yields an empty frontier; a
+ * single point is always on it.
+ */
+std::vector<std::size_t>
+paretoFrontier(const std::vector<ParetoPoint> &pts);
+
+} // namespace gpummu
+
+#endif // DSE_PARETO_HH

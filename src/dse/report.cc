@@ -1,0 +1,156 @@
+#include "dse/report.hh"
+
+#include <fstream>
+
+#include "telemetry/report.hh"
+
+namespace gpummu {
+
+namespace {
+
+// Rendering lives in the page, the C++ side stays a dumb serializer:
+// DATA is exactly the frontier JSON the sweep emits, so the report
+// can be regenerated from any archived cache file.
+constexpr const char *kScript = R"html(<script>
+"use strict";
+function fmt(n){return Number(n).toLocaleString("en-US");}
+function el(tag,attrs,parent){
+  var ns="http://www.w3.org/2000/svg";
+  var svgTags={svg:1,polyline:1,line:1,rect:1,text:1,circle:1,title:1};
+  var e=svgTags[tag]?document.createElementNS(ns,tag)
+                    :document.createElement(tag);
+  for(var k in attrs)e.setAttribute(k,attrs[k]);
+  if(parent)parent.appendChild(e);
+  return e;
+}
+// Perf-vs-area scatter: every point gray, frontier red and joined.
+function scatter(parent,pts){
+  var W=1040,H=420,L=80,B=40,T=14,R=16;
+  var svg=el("svg",{width:W,height:H},parent);
+  var xmax=Math.max.apply(null,pts.map(function(p){return p.area;}));
+  var ymax=Math.max.apply(null,pts.map(function(p){return p.cycles;}));
+  var ymin=Math.min.apply(null,pts.map(function(p){return p.cycles;}));
+  var y0=Math.max(0,ymin-0.06*(ymax-ymin||ymax));
+  function X(a){return L+(W-L-R)*(a/(xmax||1));}
+  function Y(c){return (H-B)-(H-B-T)*((c-y0)/((ymax-y0)||1));}
+  el("line",{x1:L,y1:H-B,x2:W-R,y2:H-B,"class":"axis"},svg);
+  el("line",{x1:L,y1:T,x2:L,y2:H-B,"class":"axis"},svg);
+  var front=pts.filter(function(p){return p.pareto;})
+               .sort(function(a,b){return a.area-b.area||a.cycles-b.cycles;});
+  el("polyline",{points:front.map(function(p){
+      return X(p.area).toFixed(1)+","+Y(p.cycles).toFixed(1);
+    }).join(" "),"class":"line","style":"stroke:#b04a4a"},svg);
+  pts.forEach(function(p){
+    var c=el("circle",{cx:X(p.area).toFixed(1),cy:Y(p.cycles).toFixed(1),
+      r:p.pareto?4:2.5,
+      fill:p.pareto?"#b04a4a":"#9aa7b5","fill-opacity":p.pareto?1:0.7},svg);
+    el("title",{},c).textContent=
+      p.config+"\ncycles "+fmt(p.cycles)+" · area "+p.area.toFixed(2);
+  });
+  el("text",{x:L-8,y:T+10,"text-anchor":"end","class":"lbl"},svg)
+    .textContent=fmt(ymax);
+  el("text",{x:L-8,y:H-B,"text-anchor":"end","class":"lbl"},svg)
+    .textContent=fmt(Math.round(y0));
+  el("text",{x:W-R,y:H-8,"text-anchor":"end","class":"lbl"},svg)
+    .textContent=xmax.toFixed(1)+" area units";
+  el("text",{x:L+6,y:T+10,"class":"lbl"},svg)
+    .textContent="execution cycles";
+}
+var KNOBS=[["tlb_entries","L1 TLB entries"],["tlb_ways","L1 TLB ways"],
+  ["tlb_ports","L1 TLB ports"],["pwc_lines","PWC lines"],
+  ["l2tlb_entries","shared L2 TLB entries"],["l2tlb_ports","L2 TLB ports"],
+  ["walkers","walkers"],["walk_sched","scheduled walks"],
+  ["page_2m","2MB pages"]];
+function render(){
+  var d=DATA,pts=d.points;
+  document.getElementById("meta").textContent=
+    "benchmark "+d.bench+" · seed "+d.seed+" · scale "+d.scale+
+    " · "+d.cores+" cores · "+pts.length+" design points · "+
+    d.frontier.length+" on the frontier";
+  scatter(document.getElementById("scatter"),pts);
+  // Frontier table, cheapest area first.
+  var ft=document.getElementById("frontier");
+  pts.filter(function(p){return p.pareto;})
+     .sort(function(a,b){return a.area-b.area||a.cycles-b.cycles;})
+     .forEach(function(p){
+    var tr=el("tr",{},ft);
+    el("td",{"class":"k"},tr).textContent=p.config;
+    el("td",{},tr).textContent=fmt(p.cycles);
+    el("td",{},tr).textContent=p.area.toFixed(2);
+    el("td",{},tr).textContent=
+      (100*(1-p.tlb_hits/Math.max(1,p.tlb_accesses))).toFixed(1)+"%";
+    el("td",{},tr).textContent=fmt(p.walk_refs_issued);
+  });
+  // Per-knob sensitivity: group by each knob value.
+  var sens=document.getElementById("sens");
+  KNOBS.forEach(function(kn){
+    var key=kn[0],label=kn[1],groups={};
+    pts.forEach(function(p){
+      var v=String(p[key]);
+      (groups[v]=groups[v]||[]).push(p);
+    });
+    var vals=Object.keys(groups);
+    if(vals.length<2)return; // knob not swept, nothing to compare
+    var h=el("h3",{},sens);h.textContent=label;
+    var tbl=el("table",{},sens);
+    var hd=el("tr",{},el("thead",{},tbl));
+    ["value","points","best cycles","best area","on frontier"]
+      .forEach(function(c,i){
+        var th=el("th",i===0?{"class":"k"}:{},hd);th.textContent=c;});
+    var tb=el("tbody",{},tbl);
+    vals.sort(function(a,b){return (+a||0)-(+b||0)||(a<b?-1:1);})
+        .forEach(function(v){
+      var g=groups[v],tr=el("tr",{},tb);
+      el("td",{"class":"k"},tr).textContent=v;
+      el("td",{},tr).textContent=g.length;
+      el("td",{},tr).textContent=
+        fmt(Math.min.apply(null,g.map(function(p){return p.cycles;})));
+      el("td",{},tr).textContent=
+        Math.min.apply(null,g.map(function(p){return p.area;}))
+          .toFixed(2);
+      el("td",{},tr).textContent=
+        g.filter(function(p){return p.pareto;}).length;
+    });
+  });
+}
+render();
+</script></body></html>
+)html";
+
+} // namespace
+
+bool
+writeDseHtmlReport(std::ostream &os, const DseResult &r)
+{
+    os << htmlReportHead();
+    os << "<h1>gpummu design-space report</h1>\n<div class=\"meta\" "
+          "id=\"meta\"></div>\n";
+    if (r.points.empty()) {
+        os << "<p class=\"warn\">Empty sweep: no design points were "
+              "evaluated.</p>\n</body></html>\n";
+        return false;
+    }
+    os << "<h2>Perf vs. area</h2>\n<div id=\"scatter\"></div>\n"
+          "<h2>Pareto frontier</h2>\n"
+          "<table><thead><tr><th class=\"k\">config</th>"
+          "<th>cycles</th><th>area</th><th>TLB miss rate</th>"
+          "<th>walk refs</th></tr></thead>"
+          "<tbody id=\"frontier\"></tbody></table>\n"
+          "<h2>Per-knob sensitivity</h2>\n<div id=\"sens\"></div>\n";
+    os << "<script>const DATA="
+       << htmlScriptSafeJson(emitDseJson(r)) << ";</script>\n";
+    os << kScript;
+    return true;
+}
+
+bool
+writeDseHtmlReportFile(const std::string &path, const DseResult &r)
+{
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f)
+        return false;
+    const bool ok = writeDseHtmlReport(f, r);
+    return f.good() && ok;
+}
+
+} // namespace gpummu

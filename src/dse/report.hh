@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Self-contained HTML comparison report for one DSE sweep.
+ *
+ * Reuses the telemetry report's page shell (same inline CSS, no
+ * external dependencies) and renders from the sweep's own frontier
+ * JSON embedded in the page: a perf-vs-area scatter with the Pareto
+ * frontier drawn through the non-dominated points, the frontier as a
+ * table, and a per-knob sensitivity table (for every value of every
+ * knob: how many points, the best cycles/area reached, and how many
+ * made the frontier).
+ */
+
+#ifndef DSE_REPORT_HH
+#define DSE_REPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "dse/autotuner.hh"
+
+namespace gpummu {
+
+/**
+ * Write the comparison report for @p r. Returns false when the sweep
+ * has no points (nothing to compare — CI treats that as a failure)
+ * or, for the file variant, on I/O failure.
+ */
+bool writeDseHtmlReport(std::ostream &os, const DseResult &r);
+bool writeDseHtmlReportFile(const std::string &path,
+                            const DseResult &r);
+
+} // namespace gpummu
+
+#endif // DSE_REPORT_HH

@@ -13,6 +13,7 @@
 #ifndef MMU_CACTI_MODEL_HH
 #define MMU_CACTI_MODEL_HH
 
+#include <bit>
 #include <cstdint>
 
 #include "sim/types.hh"
@@ -36,11 +37,14 @@ struct CactiModel
             return 0;
         // Charge 2 cycles per (started) doubling beyond 128 entries:
         // 129..256 -> 2, 257..512 -> 4, ... Non-power-of-two arrays
-        // pay for the power-of-two they round up to.
-        Cycle penalty = 0;
-        for (std::size_t sz = 128; sz < entries; sz *= 2)
-            penalty += 2;
-        return penalty;
+        // pay for the power-of-two they round up to. Closed form so
+        // arbitrarily large entry counts (fuzzed or misparsed grid
+        // specs) cannot overflow: the old `for (sz = 128; sz <
+        // entries; sz *= 2)` loop wrapped sz to 0 for entries >
+        // SIZE_MAX/2+1 and spun forever. bit_width((entries-1)/128)
+        // is exactly the number of started doublings past 128.
+        return 2 * static_cast<Cycle>(
+                       std::bit_width((entries - 1) / 128));
     }
 
     /**
@@ -64,6 +68,39 @@ struct CactiModel
     accessPenalty(std::size_t entries, unsigned ports) const
     {
         return sizePenalty(entries) + portPenalty(ports);
+    }
+
+    /**
+     * Relative silicon area of a CAM array (the fully-associative /
+     * highly-associative TLB organisation): linear in entries and
+     * quadratic in port count, because every extra port adds a
+     * wordline and a bitline pair so the cell grows in both
+     * dimensions. Unit: one 128-entry single-ported CAM == 1.0.
+     *
+     * Area is physical: `ideal` suppresses the *timing* penalties
+     * (the what-if reference configs of Figs. 6/7/10) but never the
+     * area estimate — an ideal-latency array still occupies silicon,
+     * and the DSE Pareto axes would silently collapse otherwise.
+     */
+    double
+    camArea(std::size_t entries, unsigned ports) const
+    {
+        const double port_dim =
+            1.0 + 0.15 * (ports > 0 ? ports - 1 : 0);
+        return static_cast<double>(entries) / 128.0 * port_dim *
+               port_dim;
+    }
+
+    /**
+     * Relative area of a set-associative SRAM array (shared L2 TLB,
+     * page walk cache): same port scaling as camArea but SRAM cells
+     * plus tag overhead come out around a quarter of a CAM cell at
+     * equal entry count.
+     */
+    double
+    ramArea(std::size_t entries, unsigned ports) const
+    {
+        return 0.25 * camArea(entries, ports);
     }
 };
 

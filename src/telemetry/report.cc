@@ -7,17 +7,9 @@
 
 namespace gpummu {
 
-namespace {
-
-/** Telemetry JSON made safe for an inline <script> block: "</" would
- *  end the script element early, so emit it as the (equivalent) JSON
- *  escape "<\/". Only occurs inside string values. */
 std::string
-scriptSafeJson(const Telemetry &t)
+htmlScriptSafeJson(const std::string &s)
 {
-    std::ostringstream ss;
-    t.writeJson(ss);
-    std::string s = ss.str();
     std::string out;
     out.reserve(s.size());
     for (std::size_t i = 0; i < s.size(); ++i) {
@@ -29,6 +21,16 @@ scriptSafeJson(const Telemetry &t)
         }
     }
     return out;
+}
+
+namespace {
+
+std::string
+scriptSafeJson(const Telemetry &t)
+{
+    std::ostringstream ss;
+    t.writeJson(ss);
+    return htmlScriptSafeJson(ss.str());
 }
 
 // The page shell. Everything that varies is in the embedded DATA
@@ -174,6 +176,12 @@ render();
 )html";
 
 } // namespace
+
+const char *
+htmlReportHead()
+{
+    return kHead;
+}
 
 bool
 writeHtmlReport(std::ostream &os, const Telemetry &t)

@@ -33,6 +33,21 @@ class Telemetry;
 bool writeHtmlReport(std::ostream &os, const Telemetry &t);
 bool writeHtmlReportFile(const std::string &path, const Telemetry &t);
 
+/**
+ * The shared single-file page shell (doctype, inline CSS, <body>
+ * open) every gpummu HTML report renders into, so the run report and
+ * the DSE comparison report look and behave identically. The caller
+ * emits its own sections and closes the document.
+ */
+const char *htmlReportHead();
+
+/**
+ * Make a JSON payload safe for embedding in an inline <script>
+ * block: "</" inside string values would end the script element
+ * early, so it is re-emitted as the equivalent JSON escape "<\/".
+ */
+std::string htmlScriptSafeJson(const std::string &json);
+
 } // namespace gpummu
 
 #endif // TELEMETRY_REPORT_HH

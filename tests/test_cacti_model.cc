@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <limits>
+
 #include "mmu/cacti_model.hh"
 
 using namespace gpummu;
@@ -41,6 +44,64 @@ TEST(CactiModel, NonPowerOfTwoSizesPayForTheNextDoubling)
     EXPECT_EQ(m.sizePenalty(384), 4u);
     EXPECT_EQ(m.sizePenalty(512), 4u);
     EXPECT_EQ(m.sizePenalty(513), 6u);
+}
+
+// Regression for the unsigned-overflow infinite loop: the old
+// `for (sz = 128; sz < entries; sz *= 2)` wrapped sz to 0 once it
+// passed SIZE_MAX/2, so any entries > SIZE_MAX/2 + 1 (reachable from
+// a fuzzed or misparsed --grid spec) spun forever. The closed form
+// must terminate and keep charging 2 cycles per started doubling all
+// the way to SIZE_MAX.
+TEST(CactiModel, ExtremeSizesTerminateWithExactPenalty)
+{
+    CactiModel m;
+    constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+    // 128 * 2^55 = 2^62: exactly 55 doublings.
+    EXPECT_EQ(m.sizePenalty(std::size_t{1} << 62), 110u);
+    EXPECT_EQ(m.sizePenalty((std::size_t{1} << 62) + 1), 112u);
+    // Values past SIZE_MAX/2, where the old loop never terminated.
+    EXPECT_EQ(m.sizePenalty(kMax / 2 + 2), 114u);
+    EXPECT_EQ(m.sizePenalty(kMax - 1), 114u);
+    EXPECT_EQ(m.sizePenalty(kMax), 114u);
+    // Monotonicity across the extreme range.
+    EXPECT_LE(m.sizePenalty(std::size_t{1} << 62),
+              m.sizePenalty(kMax));
+}
+
+// The exact doubling boundaries the model promises: 128 is free, the
+// first entry past a power-of-two pays for the next doubling.
+TEST(CactiModel, SizePenaltyDoublingBoundaries)
+{
+    CactiModel m;
+    EXPECT_EQ(m.sizePenalty(127), 0u);
+    EXPECT_EQ(m.sizePenalty(128), 0u);
+    EXPECT_EQ(m.sizePenalty(129), 2u);
+    EXPECT_EQ(m.sizePenalty(256), 2u);
+    EXPECT_EQ(m.sizePenalty(257), 4u);
+    EXPECT_EQ(m.sizePenalty(1024), 6u);
+    EXPECT_EQ(m.sizePenalty(1025), 8u);
+}
+
+TEST(CactiModel, AreaScalesWithEntriesAndPorts)
+{
+    CactiModel m;
+    // Unit definition: 128-entry single-ported CAM.
+    EXPECT_DOUBLE_EQ(m.camArea(128, 1), 1.0);
+    // Linear in entries.
+    EXPECT_DOUBLE_EQ(m.camArea(256, 1), 2.0);
+    EXPECT_DOUBLE_EQ(m.camArea(512, 1), 4.0);
+    // Quadratic in ports: growing 1 -> 4 ports more than doubles.
+    EXPECT_GT(m.camArea(128, 4), 2.0 * m.camArea(128, 1));
+    // RAM arrays are a quarter of the CAM cell.
+    EXPECT_DOUBLE_EQ(m.ramArea(4096, 2), 0.25 * m.camArea(4096, 2));
+}
+
+TEST(CactiModel, IdealDoesNotSuppressArea)
+{
+    CactiModel m;
+    m.ideal = true;
+    EXPECT_GT(m.camArea(512, 32), m.camArea(128, 4));
+    EXPECT_DOUBLE_EQ(m.camArea(128, 1), 1.0);
 }
 
 TEST(CactiModel, PortPenaltyBoundaries)

@@ -11,6 +11,8 @@
 #include <atomic>
 #include <chrono>
 #include <stdexcept>
+#include <string>
+#include <system_error>
 #include <thread>
 
 #include "core/presets.hh"
@@ -190,4 +192,83 @@ TEST(Sweep, ResolveJobsHonoursExplicitRequestAndEnv)
     EXPECT_GE(resolveJobs(0), 1u); // falls back to hardware
     unsetenv("GPUMMU_JOBS");
     EXPECT_GE(resolveJobs(0), 1u);
+}
+
+// Regression for the atol() misparse: GPUMMU_JOBS with trailing
+// garbage ("4abc") silently became 4 workers, and out-of-range values
+// were undefined behavior. The strict parser must reject every
+// malformed spelling and fall back to hardware concurrency (>= 1).
+TEST(Sweep, ResolveJobsRejectsMalformedEnvValues)
+{
+    const char *bad[] = {
+        "4abc",                  // trailing garbage
+        "0",                     // zero workers is meaningless
+        "-3",                    // negative
+        " 4",                    // leading whitespace
+        "+4",                    // explicit sign
+        "",                      // empty
+        "99999999999999999999",  // overflows unsigned
+        "0x10",                  // hex spelling
+        "3.5",                   // fractional
+    };
+    const unsigned hw = std::thread::hardware_concurrency();
+    const unsigned fallback = hw > 0 ? hw : 1;
+    for (const char *v : bad) {
+        ASSERT_EQ(setenv("GPUMMU_JOBS", v, 1), 0);
+        // Every malformed spelling resolves to the hardware fallback,
+        // never to a prefix-parse of the garbage ("4abc" -> 4 was the
+        // bug).
+        EXPECT_EQ(resolveJobs(0), fallback) << "GPUMMU_JOBS=" << v;
+    }
+    // In-range values parse exactly, right up to the unsigned max.
+    ASSERT_EQ(setenv("GPUMMU_JOBS", "4294967295", 1), 0);
+    EXPECT_EQ(resolveJobs(0), 4294967295u);
+    unsetenv("GPUMMU_JOBS");
+}
+
+// Regression for the thread-spawn exception-safety hole: if
+// std::thread construction throws mid-loop, the already-spawned
+// joinable workers must be joined during unwinding instead of
+// destroyed joinable (which calls std::terminate). ThreadJoiner is
+// the guard parallelMap spawns into; throwing through its scope must
+// leave every worker joined.
+TEST(Sweep, ThreadJoinerJoinsOnUnwind)
+{
+    std::atomic<int> completed{0};
+    std::atomic<bool> release{false};
+    bool caught = false;
+    try {
+        ThreadJoiner pool;
+        for (int i = 0; i < 3; ++i) {
+            pool.threads.emplace_back([&] {
+                while (!release.load())
+                    std::this_thread::yield();
+                completed.fetch_add(1);
+            });
+        }
+        // Simulate the fourth spawn failing the way a resource-
+        // exhausted std::thread constructor does.
+        release.store(true);
+        throw std::system_error(
+            std::make_error_code(std::errc::resource_unavailable_try_again),
+            "simulated thread-spawn failure");
+    } catch (const std::system_error &) {
+        caught = true;
+    }
+    // If the guard had not joined, completed could still be < 3 (and
+    // a joinable thread's destructor would have terminated us long
+    // before this line).
+    EXPECT_TRUE(caught);
+    EXPECT_EQ(completed.load(), 3);
+}
+
+// A mixed pool where some threads already finished and one was
+// joined by hand: the guard must skip unjoinable threads.
+TEST(Sweep, ThreadJoinerSkipsAlreadyJoinedThreads)
+{
+    ThreadJoiner pool;
+    pool.threads.emplace_back([] {});
+    pool.threads.emplace_back([] {});
+    pool.threads.front().join();
+    // Destructor joins the second and must not touch the first.
 }
