@@ -6,7 +6,7 @@
  *   --scale=<f>   workload scale factor (default 0.25 for speed;
  *                 larger values approach the paper's footprints)
  *   --seed=<n>    workload seed
- *   --bench=<name> run a single benchmark instead of all six
+ *   --bench=<name> run a single benchmark instead of all nine
  *   --jobs=<n>    sweep worker threads (default: GPUMMU_JOBS env,
  *                 else all hardware threads; results are identical
  *                 at any job count)
@@ -22,9 +22,17 @@
  *   --sample-out=<file>    write the interval series to <file>; the
  *                          extension picks the format (.csv or .json)
  *   --report=<file>        write a self-contained HTML run report
+ *   --capture-trace=<file> after the sweep, re-run one point with
+ *                          memory-trace capture armed and write a
+ *                          replayable memtrace (see
+ *                          bench/trace_replay)
  *
- * Telemetry and tracing are both observation-only re-runs of one
- * point after the sweep; arming them never changes any table number.
+ * Telemetry, tracing and trace capture are observation-only re-runs
+ * of one point after the sweep; arming them never changes any table
+ * number.
+ *
+ * All numeric flags parse strictly (sim/parse_util.hh): the whole
+ * value must be a number — "--jobs=4abc" is an error, not 4.
  */
 
 #ifndef BENCH_BENCH_UTIL_HH
@@ -39,8 +47,10 @@
 #include "core/experiment.hh"
 #include "core/presets.hh"
 #include "core/sweep.hh"
+#include "sim/parse_util.hh"
 #include "telemetry/report.hh"
 #include "telemetry/telemetry.hh"
+#include "trace/memtrace.hh"
 #include "trace/trace.hh"
 
 namespace gpummu {
@@ -62,12 +72,23 @@ struct Options
     std::string sampleOut;
     /** HTML run-report output path. */
     std::string reportFile;
+    /** Memtrace capture output path; empty disables capture. */
+    std::string captureTrace;
 };
 
-inline Options
-parse(int argc, char **argv, double default_scale = 0.25)
+/**
+ * Parse the shared bench CLI into @p opt. Returns false with a
+ * one-line message in @p err on any malformed flag — numeric values
+ * parse strictly (full token, no locale, overflow rejected), so
+ * "--jobs=4abc" and "--seed=-1" are errors rather than garbage.
+ * Exposed separately from parse() so tests can pin the rejects
+ * without spawning processes.
+ */
+inline bool
+tryParse(int argc, char **argv, Options &opt, std::string &err,
+         double default_scale = 0.25)
 {
-    Options opt;
+    opt = Options{};
     opt.params.scale = default_scale;
     opt.params.seed = 42;
     opt.benchmarks = allBenchmarks();
@@ -79,39 +100,46 @@ parse(int argc, char **argv, double default_scale = 0.25)
                                         : nullptr;
         };
         if (const char *v = value("--scale")) {
-            opt.params.scale = std::atof(v);
+            if (!parseDouble(v, opt.params.scale) ||
+                opt.params.scale <= 0.0) {
+                err = "--scale wants a positive number, got '" +
+                      std::string(v) + "'";
+                return false;
+            }
         } else if (const char *v = value("--jobs")) {
-            opt.jobs = static_cast<unsigned>(std::atoi(v));
-            if (opt.jobs == 0) {
-                std::cerr << "--jobs wants a positive int\n";
-                std::exit(1);
+            if (!parseNum(v, opt.jobs) || opt.jobs == 0) {
+                err = "--jobs wants a positive int, got '" +
+                      std::string(v) + "'";
+                return false;
             }
         } else if (const char *v = value("--seed")) {
-            opt.params.seed =
-                static_cast<std::uint64_t>(std::atoll(v));
+            if (!parseNum(v, opt.params.seed)) {
+                err = "--seed wants a non-negative int, got '" +
+                      std::string(v) + "'";
+                return false;
+            }
         } else if (const char *v = value("--trace")) {
             opt.traceFile = v;
             if (opt.traceFile.empty()) {
-                std::cerr << "--trace wants an output path\n";
-                std::exit(1);
+                err = "--trace wants an output path";
+                return false;
             }
         } else if (const char *v = value("--trace-filter")) {
             opt.traceFilter = v;
             if (!traceFilterMatchesAny(opt.traceFilter)) {
-                std::cerr << "--trace-filter=" << v
-                          << " matches no category; valid: "
-                          << traceCatNames() << "\n";
-                std::exit(1);
+                err = "--trace-filter=" + std::string(v) +
+                      " matches no category; valid: " +
+                      traceCatNames();
+                return false;
             }
         } else if (const char *v = value("--sample-interval")) {
-            const long long n = std::atoll(v);
-            if (n <= 0) {
-                std::cerr
-                    << "--sample-interval wants a positive cycle "
-                       "count\n";
-                std::exit(1);
+            if (!parseNum(v, opt.sampleInterval) ||
+                opt.sampleInterval == 0) {
+                err = "--sample-interval wants a positive cycle "
+                      "count, got '" +
+                      std::string(v) + "'";
+                return false;
             }
-            opt.sampleInterval = static_cast<Cycle>(n);
         } else if (const char *v = value("--sample-out")) {
             opt.sampleOut = v;
             const std::string &p = opt.sampleOut;
@@ -122,15 +150,20 @@ parse(int argc, char **argv, double default_scale = 0.25)
                            0;
             };
             if (p.empty() || (!ends(".csv") && !ends(".json"))) {
-                std::cerr << "--sample-out wants a .csv or .json "
-                             "path\n";
-                std::exit(1);
+                err = "--sample-out wants a .csv or .json path";
+                return false;
             }
         } else if (const char *v = value("--report")) {
             opt.reportFile = v;
             if (opt.reportFile.empty()) {
-                std::cerr << "--report wants an output path\n";
-                std::exit(1);
+                err = "--report wants an output path";
+                return false;
+            }
+        } else if (const char *v = value("--capture-trace")) {
+            opt.captureTrace = v;
+            if (opt.captureTrace.empty()) {
+                err = "--capture-trace wants an output path";
+                return false;
             }
         } else if (const char *v = value("--bench")) {
             opt.benchmarks.clear();
@@ -139,24 +172,36 @@ parse(int argc, char **argv, double default_scale = 0.25)
                     opt.benchmarks.push_back(id);
             }
             if (opt.benchmarks.empty()) {
-                std::cerr << "unknown benchmark: " << v << "\n";
-                std::exit(1);
+                err = "unknown benchmark: " + std::string(v);
+                return false;
             }
         } else {
-            std::cerr << "unknown option: " << arg << "\n";
-            std::exit(1);
+            err = "unknown option: " + arg;
+            return false;
         }
     }
     if (opt.sampleInterval == 0 &&
         (!opt.sampleOut.empty() || !opt.reportFile.empty())) {
-        std::cerr << "--sample-out/--report need "
-                     "--sample-interval=<cycles>\n";
-        std::exit(1);
+        err = "--sample-out/--report need "
+              "--sample-interval=<cycles>";
+        return false;
     }
     if (opt.sampleInterval != 0 && opt.sampleOut.empty() &&
         opt.reportFile.empty()) {
-        std::cerr << "--sample-interval needs --sample-out=<file> "
-                     "and/or --report=<file>\n";
+        err = "--sample-interval needs --sample-out=<file> and/or "
+              "--report=<file>";
+        return false;
+    }
+    return true;
+}
+
+inline Options
+parse(int argc, char **argv, double default_scale = 0.25)
+{
+    Options opt;
+    std::string err;
+    if (!tryParse(argc, argv, opt, err, default_scale)) {
+        std::cerr << err << "\n";
         std::exit(1);
     }
     return opt;
@@ -261,13 +306,38 @@ maybeTelemetryRun(const Options &opt, const SystemConfig &cfg)
     }
 }
 
+/**
+ * Honor --capture-trace=<file>: re-simulate one (benchmark, config)
+ * point with memory-trace capture armed and write a replayable
+ * memtrace. Like tracing/telemetry this is a separate observation-
+ * only simulation after the sweep (capture registers no stats, so
+ * the armed run is bit-identical to an unarmed one). Uses the first
+ * selected benchmark; narrow with --bench=<name>. Replay the file
+ * with bench/trace_replay.
+ */
+inline void
+maybeCaptureRun(const Options &opt, const SystemConfig &cfg)
+{
+    if (opt.captureTrace.empty())
+        return;
+    MemTraceWriter writer(opt.captureTrace);
+    const BenchmarkId bench = opt.benchmarks.front();
+    runConfigFull(bench, cfg, opt.params, nullptr, nullptr, &writer);
+    std::cerr << "memtrace: " << writer.accessesRecorded()
+              << " accesses, " << writer.branchesRecorded()
+              << " branches -> " << opt.captureTrace << " ["
+              << benchmarkName(bench) << " / " << cfg.name << "]\n";
+}
+
 /** Run every requested post-sweep observation of @p cfg (trace,
- *  telemetry); each is its own armed re-simulation. */
+ *  telemetry, memtrace capture); each is its own armed
+ *  re-simulation. */
 inline void
 maybeObserveRun(const Options &opt, const SystemConfig &cfg)
 {
     maybeTraceRun(opt, cfg);
     maybeTelemetryRun(opt, cfg);
+    maybeCaptureRun(opt, cfg);
 }
 
 /** Geometric mean helper for "average speedup" rows. */

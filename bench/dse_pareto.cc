@@ -21,8 +21,6 @@
  */
 
 #include <algorithm>
-#include <charconv>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -30,31 +28,15 @@
 #include "core/experiment.hh"
 #include "dse/autotuner.hh"
 #include "dse/report.hh"
+#include "sim/parse_util.hh"
 
 using namespace gpummu;
 
 namespace {
 
-/** Strict full-token parse; the misparse-tolerant atol/atoi family
- *  is exactly what this PR evicts from the sweep substrate. */
-template <typename T>
-bool
-parseNum(const char *s, T &out)
-{
-    const char *end = s + std::strlen(s);
-    const auto [ptr, ec] = std::from_chars(s, end, out);
-    return ec == std::errc() && ptr == end;
-}
-
-bool
-parseDouble(const char *s, double &out)
-{
-    // from_chars(double) is still spotty across libstdc++ versions
-    // for general formats; strtod with an end check is equivalent.
-    char *end = nullptr;
-    out = std::strtod(s, &end);
-    return end != nullptr && *end == '\0' && end != s;
-}
+// Strict full-token parsing comes from the shared helper
+// (sim/parse_util.hh) — the local strtod-based copy this file used
+// to carry moved there, locale-independent, for every bench CLI.
 
 int
 usage(const std::string &why)

@@ -33,6 +33,7 @@
 
 #include "core/multi_tenant.hh"
 #include "core/presets.hh"
+#include "sim/parse_util.hh"
 #include "telemetry/report.hh"
 #include "telemetry/telemetry.hh"
 #include "trace/trace.hh"
@@ -71,27 +72,41 @@ main(int argc, char **argv)
             return arg.rfind(k, 0) == 0 ? arg.c_str() + k.size()
                                         : nullptr;
         };
+        // Numeric flags parse strictly (sim/parse_util.hh): the
+        // whole value must be a number, or the flag is an error.
+        auto bad = [&arg](const char *what) {
+            std::cerr << arg << ": wants " << what << "\n";
+            return 1;
+        };
         if (const char *v = value("--scale")) {
-            cfg.params.scale = std::atof(v);
+            if (!parseDouble(v, cfg.params.scale) ||
+                cfg.params.scale <= 0.0) {
+                return bad("a positive number");
+            }
         } else if (const char *v = value("--seed")) {
-            cfg.params.seed =
-                static_cast<std::uint64_t>(std::atoll(v));
+            if (!parseNum(v, cfg.params.seed))
+                return bad("a non-negative int");
         } else if (const char *v = value("--bench-a")) {
             cfg.tenants.at(0) = {benchByName(v), v};
         } else if (const char *v = value("--bench-b")) {
             cfg.tenants.at(1) = {benchByName(v), v};
         } else if (const char *v = value("--blocks-per-slice")) {
-            cfg.blocksPerSlice =
-                static_cast<unsigned>(std::atoi(v));
+            if (!parseNum(v, cfg.blocksPerSlice) ||
+                cfg.blocksPerSlice == 0) {
+                return bad("a positive int");
+            }
         } else if (const char *v = value("--switch-penalty")) {
-            cfg.os.switchPenalty = static_cast<Cycle>(std::atoll(v));
+            if (!parseNum(v, cfg.os.switchPenalty))
+                return bad("a cycle count");
         } else if (const char *v = value("--fault-latency")) {
-            cfg.os.faultLatency = static_cast<Cycle>(std::atoll(v));
+            if (!parseNum(v, cfg.os.faultLatency))
+                return bad("a cycle count");
         } else if (const char *v = value("--shootdown-base")) {
-            cfg.os.shootdownBase = static_cast<Cycle>(std::atoll(v));
+            if (!parseNum(v, cfg.os.shootdownBase))
+                return bad("a cycle count");
         } else if (const char *v = value("--shootdown-per-entry")) {
-            cfg.os.shootdownPerEntry =
-                static_cast<Cycle>(std::atoll(v));
+            if (!parseNum(v, cfg.os.shootdownPerEntry))
+                return bad("a cycle count");
         } else if (arg == "--eager") {
             cfg.lazyBacking = false;
         } else if (arg == "--check") {
@@ -99,7 +114,10 @@ main(int argc, char **argv)
         } else if (const char *v = value("--trace")) {
             trace_file = v;
         } else if (const char *v = value("--sample-interval")) {
-            sample_interval = static_cast<Cycle>(std::atoll(v));
+            if (!parseNum(v, sample_interval) ||
+                sample_interval == 0) {
+                return bad("a positive cycle count");
+            }
         } else if (const char *v = value("--sample-out")) {
             sample_out = v;
         } else if (const char *v = value("--report")) {

@@ -39,6 +39,7 @@
 
 #include "core/experiment.hh"
 #include "core/presets.hh"
+#include "sim/parse_util.hh"
 #include "sim/perf_report.hh"
 
 using namespace gpummu;
@@ -98,14 +99,31 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         std::string val;
+        // Strict full-token parses (sim/parse_util.hh): trailing
+        // garbage, overflow and locale quirks are errors, never 0.
         if (parseArg(arg, "--scale", val)) {
-            params.scale = std::stod(val);
+            if (!parseDouble(val, params.scale)) {
+                std::cerr << "simbench: bad --scale '" << val
+                          << "'\n";
+                return 2;
+            }
         } else if (parseArg(arg, "--seed", val)) {
-            params.seed = static_cast<std::uint64_t>(std::stoull(val));
+            if (!parseNum(val, params.seed)) {
+                std::cerr << "simbench: bad --seed '" << val
+                          << "'\n";
+                return 2;
+            }
         } else if (parseArg(arg, "--repeat", val)) {
-            repeat = std::stoi(val);
+            if (!parseNum(val, repeat)) {
+                std::cerr << "simbench: bad --repeat '" << val
+                          << "'\n";
+                return 2;
+            }
         } else if (parseArg(arg, "--pr", val)) {
-            pr = std::stoi(val);
+            if (!parseNum(val, pr)) {
+                std::cerr << "simbench: bad --pr '" << val << "'\n";
+                return 2;
+            }
         } else if (parseArg(arg, "--bench-out", val)) {
             out_path = val;
         } else if (arg == "--quick") {

@@ -13,7 +13,7 @@
  * Usage: mmu_sweep [benchmark] [scale] [jobs]
  *                  [--trace=<file>] [--trace-filter=<prefix>]
  *                  [--sample-interval=<cycles>] [--sample-out=<file>]
- *                  [--report=<file>]
+ *                  [--report=<file>] [--capture-trace=<file>]
  *        (jobs defaults to GPUMMU_JOBS, else all hardware threads)
  *
  * With --trace=<file>, one extra run of the augmented design point is
@@ -29,6 +29,11 @@
  * self-contained HTML run report with interval charts, the stall
  * breakdown and the hot-page / hot-PTE-line tables. Both observation
  * layers never change simulated results.
+ *
+ * With --capture-trace=<file>, the augmented design point is re-run
+ * with memory-trace capture armed and the result is written as a
+ * replayable memtrace (drive it back through the MMU stack with
+ * bench/trace_replay).
  */
 
 #include <iostream>
@@ -38,8 +43,10 @@
 #include "core/experiment.hh"
 #include "core/presets.hh"
 #include "core/sweep.hh"
+#include "sim/parse_util.hh"
 #include "telemetry/report.hh"
 #include "telemetry/telemetry.hh"
+#include "trace/memtrace.hh"
 #include "trace/trace.hh"
 
 using namespace gpummu;
@@ -49,6 +56,7 @@ main(int argc, char **argv)
 {
     // Flags can appear anywhere; positionals keep their order.
     std::string trace_file, trace_filter, sample_out, report_file;
+    std::string capture_file;
     Cycle sample_interval = 0;
     std::vector<std::string> pos;
     for (int i = 1; i < argc; ++i) {
@@ -64,13 +72,21 @@ main(int argc, char **argv)
                 return 2;
             }
         } else if (arg.rfind("--sample-interval=", 0) == 0) {
-            const long long n = std::atoll(arg.c_str() + 18);
-            if (n <= 0) {
+            // Strict full-token parse: trailing garbage is an
+            // error, not a truncated number.
+            if (!parseNum(arg.substr(18), sample_interval) ||
+                sample_interval == 0) {
                 std::cerr << "--sample-interval wants a positive "
                              "cycle count\n";
                 return 2;
             }
-            sample_interval = static_cast<Cycle>(n);
+        } else if (arg.rfind("--capture-trace=", 0) == 0) {
+            capture_file = arg.substr(16);
+            if (capture_file.empty()) {
+                std::cerr
+                    << "--capture-trace wants an output path\n";
+                return 2;
+            }
         } else if (arg.rfind("--sample-out=", 0) == 0) {
             sample_out = arg.substr(13);
             const auto dot = sample_out.rfind('.');
@@ -114,11 +130,20 @@ main(int argc, char **argv)
 
     std::string name = pos.size() > 0 ? pos[0] : "bfs";
     WorkloadParams params;
-    params.scale = pos.size() > 1 ? std::atof(pos[1].c_str()) : 0.25;
+    params.scale = 0.25;
     params.seed = 42;
-    const unsigned jobs =
-        pos.size() > 2 ? static_cast<unsigned>(std::atoi(pos[2].c_str()))
-                       : 0;
+    if (pos.size() > 1 &&
+        (!parseDouble(pos[1], params.scale) || params.scale <= 0.0)) {
+        std::cerr << "bad scale '" << pos[1]
+                  << "': wants a positive number\n";
+        return 2;
+    }
+    unsigned jobs = 0;
+    if (pos.size() > 2 && !parseNum(pos[2], jobs)) {
+        std::cerr << "bad jobs '" << pos[2]
+                  << "': wants a non-negative int\n";
+        return 2;
+    }
 
     BenchmarkId bench = BenchmarkId::Bfs;
     for (BenchmarkId id : allBenchmarks()) {
@@ -227,6 +252,21 @@ main(int argc, char **argv)
                       << " page-table lines -> " << report_file
                       << "\n";
         }
+    }
+
+    // Memtrace capture is observation-only like the two layers
+    // above: a separate armed re-run of the augmented point. Capture
+    // registers no stats, so the armed run is bit-identical to the
+    // swept one.
+    if (!capture_file.empty()) {
+        MemTraceWriter writer(capture_file);
+        const SystemConfig captured = presets::augmentedTlb();
+        runConfigFull(bench, captured, params, nullptr, nullptr,
+                      &writer);
+        std::cout << "memtrace: " << writer.accessesRecorded()
+                  << " accesses, " << writer.branchesRecorded()
+                  << " branches -> " << capture_file << " [" << name
+                  << " / " << captured.name << "]\n";
     }
     return 0;
 }

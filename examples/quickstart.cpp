@@ -16,6 +16,7 @@
 
 #include "core/experiment.hh"
 #include "core/presets.hh"
+#include "sim/parse_util.hh"
 
 using namespace gpummu;
 
@@ -40,8 +41,14 @@ main(int argc, char **argv)
     const BenchmarkId bench =
         argc > 1 ? parseBenchmark(argv[1]) : BenchmarkId::Bfs;
     WorkloadParams params;
-    params.scale = argc > 2 ? std::atof(argv[2]) : 0.25;
+    params.scale = 0.25;
     params.seed = 42;
+    if (argc > 2 && (!parseDouble(argv[2], params.scale) ||
+                     params.scale <= 0.0)) {
+        std::cerr << "bad scale '" << argv[2]
+                  << "': wants a positive number\n";
+        return 1;
+    }
 
     Experiment exp(params);
     const SystemConfig base = presets::noTlb();

@@ -18,6 +18,7 @@
 #include "mmu/iommu.hh"
 #include "core/presets.hh"
 #include "sched/ccws.hh"
+#include "sim/parse_util.hh"
 #include "tbc/tbc_core.hh"
 
 using namespace gpummu;
@@ -54,8 +55,14 @@ main(int argc, char **argv)
     const SystemConfig cfg =
         presetByName(argc > 2 ? argv[2] : "augmented");
     WorkloadParams params;
-    params.scale = argc > 3 ? std::atof(argv[3]) : 0.1;
+    params.scale = 0.1;
     params.seed = 42;
+    if (argc > 3 && (!parseDouble(argv[3], params.scale) ||
+                     params.scale <= 0.0)) {
+        std::cerr << "bad scale '" << argv[3]
+                  << "': wants a positive number\n";
+        return 1;
+    }
 
     BenchmarkId bench = BenchmarkId::Bfs;
     for (BenchmarkId id : allBenchmarks()) {

@@ -8,6 +8,7 @@
 #include "sim/logging.hh"
 #include "tbc/tbc_core.hh"
 #include "telemetry/telemetry.hh"
+#include "trace/memtrace.hh"
 #include "trace/trace.hh"
 
 namespace gpummu {
@@ -59,12 +60,13 @@ makeCoreFactory(const SystemConfig &cfg)
 namespace {
 
 RunOutput
-finishRun(GpuTop &gpu, BenchmarkId bench, const SystemConfig &cfg)
+finishRun(GpuTop &gpu, const std::string &bench_name,
+          const SystemConfig &cfg)
 {
     RunOutput out;
     out.stats = gpu.run(cfg.maxCycles);
     std::ostringstream os;
-    os << "{\"bench\":\"" << jsonEscape(benchmarkName(bench))
+    os << "{\"bench\":\"" << jsonEscape(bench_name)
        << "\",\"config\":\"" << jsonEscape(cfg.name)
        << "\",\"summary\":";
     dumpRunStatsJson(os, out.stats);
@@ -75,15 +77,37 @@ finishRun(GpuTop &gpu, BenchmarkId bench, const SystemConfig &cfg)
     return out;
 }
 
+/** Arm trace capture on a built GpuTop; fatal when unsupported so a
+ *  --capture-trace user never gets a silently empty file. */
+void
+armMemTrace(GpuTop &gpu, MemTraceWriter *memtrace,
+            const SystemConfig &cfg)
+{
+    if (memtrace == nullptr)
+        return;
+    memtrace->setConfigName(cfg.name);
+    if (!gpu.setMemTrace(memtrace)) {
+        if (!memtrace->ok()) {
+            GPUMMU_FATAL("memory-trace capture failed: ",
+                         memtrace->error());
+        }
+        GPUMMU_FATAL("memory-trace capture is not supported on "
+                     "this core topology (config '",
+                     cfg.name,
+                     "'): TBC compacts warps, so recorded warp ids "
+                     "would not replay");
+    }
+}
+
 } // namespace
 
 RunOutput
-runConfigFull(BenchmarkId bench, const SystemConfig &cfg_in,
-              const WorkloadParams &params, TraceSink *trace,
-              Telemetry *telemetry)
+runWorkloadFull(Workload &workload, const SystemConfig &cfg_in,
+                TraceSink *trace, Telemetry *telemetry,
+                MemTraceWriter *memtrace)
 {
     if (telemetry != nullptr)
-        telemetry->setMeta(benchmarkName(bench), cfg_in.name);
+        telemetry->setMeta(workload.name(), cfg_in.name);
     // Fan the top-level checker switch out to every translation unit
     // of the run before any core is built.
     SystemConfig cfg = cfg_in;
@@ -93,7 +117,6 @@ runConfigFull(BenchmarkId bench, const SystemConfig &cfg_in,
         cfg.l2tlb.checkInvariants = true;
     }
 
-    auto workload = makeWorkload(bench, params);
     if (!cfg.iommu) {
         GpuTop::CoreFactory factory = makeCoreFactory(cfg);
 
@@ -123,7 +146,7 @@ runConfigFull(BenchmarkId bench, const SystemConfig &cfg_in,
             };
         }
 
-        GpuTop gpu(cfg.numCores, cfg.mem, *workload, factory,
+        GpuTop gpu(cfg.numCores, cfg.mem, workload, factory,
                    cfg.largePages, cfg.physFrames);
         if (l2_holder && *l2_holder)
             (*l2_holder)->regStats(gpu.stats(), "l2tlb");
@@ -138,7 +161,13 @@ runConfigFull(BenchmarkId bench, const SystemConfig &cfg_in,
         // After the trace stats so an armed sampler sees them too.
         if (telemetry != nullptr)
             gpu.setTelemetry(telemetry);
-        RunOutput out = finishRun(gpu, bench, cfg);
+        armMemTrace(gpu, memtrace, cfg);
+        RunOutput out = finishRun(gpu, workload.name(), cfg);
+        if (memtrace != nullptr &&
+            !memtrace->finish(out.stats.cycles)) {
+            GPUMMU_FATAL("memory-trace capture failed: ",
+                         memtrace->error());
+        }
         // The shared L2 TLB is not reached by GpuTop's per-core
         // sweep, so its MSHR drain invariants are verified here.
         if (l2_holder && *l2_holder)
@@ -168,7 +197,7 @@ runConfigFull(BenchmarkId bench, const SystemConfig &cfg_in,
         core->setIommu(iommu_holder->get());
         return core;
     };
-    GpuTop gpu(cfg.numCores, cfg.mem, *workload, factory,
+    GpuTop gpu(cfg.numCores, cfg.mem, workload, factory,
                cfg.largePages, cfg.physFrames);
     if (*iommu_holder)
         (*iommu_holder)->regStats(gpu.stats(), "iommu");
@@ -187,12 +216,27 @@ runConfigFull(BenchmarkId bench, const SystemConfig &cfg_in,
         if (*iommu_holder)
             (*iommu_holder)->setHeatProfiler(&telemetry->heat(), -1);
     }
-    RunOutput out = finishRun(gpu, bench, cfg);
+    armMemTrace(gpu, memtrace, cfg);
+    RunOutput out = finishRun(gpu, workload.name(), cfg);
+    if (memtrace != nullptr && !memtrace->finish(out.stats.cycles)) {
+        GPUMMU_FATAL("memory-trace capture failed: ",
+                     memtrace->error());
+    }
     // The shared IOMMU is not reached by GpuTop's per-core sweep, so
     // its drain invariants are verified here.
     if (*iommu_holder)
         (*iommu_holder)->checkEndOfKernel();
     return out;
+}
+
+RunOutput
+runConfigFull(BenchmarkId bench, const SystemConfig &cfg,
+              const WorkloadParams &params, TraceSink *trace,
+              Telemetry *telemetry, MemTraceWriter *memtrace)
+{
+    auto workload = makeWorkload(bench, params);
+    return runWorkloadFull(*workload, cfg, trace, telemetry,
+                           memtrace);
 }
 
 RunStats

@@ -29,6 +29,7 @@
 
 namespace gpummu {
 
+class MemTraceWriter;
 class Telemetry;
 class TraceSink;
 
@@ -61,7 +62,22 @@ RunStats runConfig(BenchmarkId bench, const SystemConfig &cfg,
 RunOutput runConfigFull(BenchmarkId bench, const SystemConfig &cfg,
                         const WorkloadParams &params,
                         TraceSink *trace = nullptr,
-                        Telemetry *telemetry = nullptr);
+                        Telemetry *telemetry = nullptr,
+                        MemTraceWriter *memtrace = nullptr);
+
+/**
+ * As runConfigFull, but over an already-constructed Workload — the
+ * entry point for workloads that are not in the BenchmarkId registry
+ * (TraceReplayWorkload). @p memtrace, when non-null, arms memory-
+ * trace capture on the run (observation-only: it registers nothing in
+ * the stat registry, so an armed run's stat dump is bit-identical to
+ * an unarmed one's) and finishes the trace after the run; capture on
+ * a TBC topology or a failing trace write is fatal.
+ */
+RunOutput runWorkloadFull(Workload &workload, const SystemConfig &cfg,
+                          TraceSink *trace = nullptr,
+                          Telemetry *telemetry = nullptr,
+                          MemTraceWriter *memtrace = nullptr);
 
 /**
  * Convenience harness for the benches: caches the no-TLB baseline

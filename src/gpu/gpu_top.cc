@@ -7,6 +7,7 @@
 #include "mmu/mmu.hh"
 #include "sim/logging.hh"
 #include "telemetry/telemetry.hh"
+#include "trace/memtrace.hh"
 #include "trace/trace.hh"
 
 namespace gpummu {
@@ -78,6 +79,42 @@ GpuTop::setTelemetry(Telemetry *telemetry)
         telemetry_ != nullptr ? &telemetry_->heat() : nullptr;
     for (auto &core : cores_)
         core->setHeatProfiler(heat);
+}
+
+bool
+GpuTop::setMemTrace(MemTraceWriter *writer)
+{
+    if (writer == nullptr) {
+        for (auto &core : cores_)
+            core->setMemTraceWriter(nullptr);
+        return true;
+    }
+    // Arm every core first; if any core type cannot capture (TBC),
+    // disarm the rest — a half-armed trace would not replay.
+    for (auto &core : cores_) {
+        if (!core->setMemTraceWriter(writer)) {
+            for (auto &c : cores_)
+                c->setMemTraceWriter(nullptr);
+            return false;
+        }
+    }
+    MemTraceMeta meta;
+    meta.bench = workload_.name();
+    meta.numCores = static_cast<unsigned>(cores_.size());
+    meta.seed = launch_.seed;
+    meta.scale = workload_.params().scale;
+    meta.threadsPerBlock = launch_.threadsPerBlock;
+    meta.numBlocks = launch_.totalBlocks;
+    meta.largePages = as_.usesLargePages();
+    std::vector<MemTraceRegion> regions;
+    for (const VmRegion &r : as_.regions())
+        regions.push_back(MemTraceRegion{r.name, r.bytes});
+    if (!writer->beginRun(meta, regions, *launch_.program)) {
+        for (auto &core : cores_)
+            core->setMemTraceWriter(nullptr);
+        return false;
+    }
+    return true;
 }
 
 bool

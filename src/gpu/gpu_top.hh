@@ -164,6 +164,15 @@ class GpuTop
     void setTelemetry(Telemetry *telemetry);
 
     /**
+     * Arm memory-trace capture (observation-only): distributes the
+     * writer to every core and writes the trace prologue (meta,
+     * regions, program skeleton). Call before run(); pass nullptr to
+     * detach. Returns false — without arming anything — when a core
+     * type cannot capture (TBC) or the prologue write failed.
+     */
+    bool setMemTrace(MemTraceWriter *writer);
+
+    /**
      * Run the kernel grid to completion.
      * @param max_cycles deadlock guard; fatal when exceeded.
      */

@@ -189,6 +189,8 @@ class KernelProgram
     const std::string &name() const { return name_; }
     const std::vector<BasicBlock> &blocks() const { return blocks_; }
     std::size_t numBlocks() const { return blocks_.size(); }
+    std::size_t numAddrGens() const { return addrGens_.size(); }
+    std::size_t numCondGens() const { return condGens_.size(); }
 
     const BasicBlock &
     block(int id) const

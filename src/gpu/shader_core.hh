@@ -18,6 +18,7 @@
 namespace gpummu {
 
 class HeatProfiler;
+class MemTraceWriter;
 class Mmu;
 class L1Cache;
 class MemoryStage;
@@ -78,6 +79,18 @@ class ShaderCore
     /** Attach a translation heat profiler to this core's walker pool
      *  and memory stage (observation-only, may be null). */
     virtual void setHeatProfiler(HeatProfiler *heat) { (void)heat; }
+
+    /**
+     * Attach a memory-trace capture writer (observation-only, may be
+     * null to detach). Returns false when this core type cannot
+     * capture (TBC compacts warps, so recorded warp ids would not
+     * replay); detaching always succeeds.
+     */
+    virtual bool
+    setMemTraceWriter(MemTraceWriter *writer)
+    {
+        return writer == nullptr;
+    }
 
     /** End-of-run bookkeeping before stats are dumped (folds the
      *  per-warp stall ledger into its histograms). */

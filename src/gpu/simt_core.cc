@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "trace/memtrace.hh"
 #include "trace/trace.hh"
 
 namespace gpummu {
@@ -169,6 +170,13 @@ SimtCore::executeBranch(Warp &w, const Instruction &in)
             fall |= bit;
     }
     branchInstrs_.inc();
+    if (memtrace_ != nullptr && in.condGen >= 0) {
+        const auto &blk =
+            blocks_[static_cast<std::size_t>(w.blockSlot)];
+        memtrace_->recordBranch(blk.globalId,
+                                threadAt(w, 0).warpInBlock,
+                                in.condGen, top.mask, taken);
+    }
     if (w.stack.branch(taken, fall, in.takenBlock, in.fallBlock,
                        in.reconvBlock)) {
         divergentBranches_.inc();
@@ -249,6 +257,17 @@ SimtCore::issueWarp(int wid, Cycle now)
                 }
             }
             w.hasPendingAddrs = true;
+            if (memtrace_ != nullptr) {
+                // Capture at generation time (not per bounce) so the
+                // trace holds one record per dynamic instruction.
+                const auto &blk =
+                    blocks_[static_cast<std::size_t>(w.blockSlot)];
+                memtrace_->recordAccess(
+                    now, coreId_, blk.globalId,
+                    threadAt(w, 0).warpInBlock,
+                    in->op == Opcode::Store, top.mask,
+                    w.pendingAddrs);
+            }
         }
         const bool is_store = in->op == Opcode::Store;
         w.state = WarpState::WaitingMem;

@@ -102,6 +102,13 @@ class SimtCore : public ShaderCore
 
     void setTraceSink(TraceSink *sink) override;
     void setHeatProfiler(HeatProfiler *heat) override;
+
+    bool
+    setMemTraceWriter(MemTraceWriter *writer) override
+    {
+        memtrace_ = writer;
+        return true;
+    }
     WarpStallAccounting &stallAccounting() override { return stalls_; }
 
     void regStats(StatRegistry &reg,
@@ -190,6 +197,9 @@ class SimtCore : public ShaderCore
     Mmu mmu_;
     MemoryStage memStage_;
     std::unique_ptr<WarpScheduler> sched_;
+
+    /** Observation-only capture sink; null when not capturing. */
+    MemTraceWriter *memtrace_ = nullptr;
 
     std::vector<Warp> warps_;
     std::vector<ResidentBlock> blocks_;

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
+#include "sim/parse_util.hh"
 #include "sim/stats.hh"
 
 namespace gpummu {
@@ -304,9 +306,13 @@ class JsonParser
         }
         if (pos_ == start)
             return fail("expected a value");
-        try {
-            out.number = std::stod(s_.substr(start, pos_ - start));
-        } catch (...) {
+        // Locale-independent strict parse: emit uses jsonNum
+        // (to_chars), so parse must not consult LC_NUMERIC — under a
+        // comma-decimal locale std::stod would misparse "1.5" as 1
+        // and break the byte-stability round trip.
+        if (!parseDouble(
+                std::string_view(s_).substr(start, pos_ - start),
+                out.number)) {
             return fail("bad number");
         }
         out.kind = JsonValue::Kind::Number;

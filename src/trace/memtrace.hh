@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Versioned, replayable memory-trace format (Accel-Sim style).
+ *
+ * A memtrace captures everything a workload feeds the timing stack:
+ * the launch geometry, the mapped region layout, the kernel program's
+ * control-flow skeleton (blocks, opcodes, branch targets — NOT the
+ * address/condition closures), and the cycle-ordered per-warp records
+ * of every generated memory access and every conditional branch
+ * outcome. That is sufficient to re-drive the TLB / PTW / L2-TLB /
+ * IOMMU stack *bit-identically*: control flow and address streams are
+ * pure per-thread functions of the program, so distributing the
+ * recorded lane values back into per-thread FIFOs (workloads/replay)
+ * reproduces the source run exactly — and, because the per-thread
+ * streams are schedule-independent, a captured trace also replays
+ * under *different* design points (core counts, TLB geometries, the
+ * IOMMU) as a portable workload.
+ *
+ * Capture rides the observation-only hook pattern (TraceSink,
+ * Telemetry): a MemTraceWriter armed on a run's GpuTop records at the
+ * address-generation and branch-resolution points without touching
+ * any simulated state, so an armed run is bit-identical to an
+ * unarmed one. The writer streams records to disk as they happen;
+ * footprint is O(1) in trace length.
+ *
+ * On-disk format: line-delimited text, one record per line.
+ *
+ *   gpummu-memtrace 1
+ *   meta bench=<name> config=<name> cores=<n> seed=<n> scale=<f>
+ *        tpb=<n> blocks=<n> large=<0|1>
+ *   region <name> <bytes>                      (in mmap order)
+ *   prog <numBlocks> <numAddrGens> <numCondGens>
+ *   i <block> alu | ld <gen> | st <gen>
+ *             | br <cond> <taken> <fall> <reconv> | exit
+ *   A <cycle> <core> <block> <warp> L|S <maskHex> <addrHex>...
+ *   B <block> <warp> <condGen> <maskHex> <takenHex>
+ *   end accesses=<n> branches=<n> cycles=<n>
+ *
+ * `A` records carry one address per set mask bit, in ascending lane
+ * order; `B` records only conditional branches (condGen >= 0 —
+ * unconditional branches are part of the skeleton). Access cycles
+ * are nondecreasing; the loader rejects out-of-order cycles, unknown
+ * versions and truncated files (a missing/mismatching `end` record)
+ * with a clear error, never UB.
+ */
+
+#ifndef TRACE_MEMTRACE_HH
+#define TRACE_MEMTRACE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace gpummu {
+
+class KernelProgram;
+
+/** Run identity recorded in (and recovered from) a trace. */
+struct MemTraceMeta
+{
+    std::string bench;
+    std::string config;
+    /** Core count of the source run — part of run identity (the
+     *  config name alone does not pin --cores overrides); replay uses
+     *  it as the default topology. */
+    unsigned numCores = 0;
+    std::uint64_t seed = 0;
+    double scale = 0.0;
+    unsigned threadsPerBlock = 0;
+    unsigned numBlocks = 0;
+    bool largePages = false;
+};
+
+/** One mapped region, in the source run's mmap order. */
+struct MemTraceRegion
+{
+    std::string name;
+    std::uint64_t bytes = 0;
+};
+
+/** One instruction of the serialized program skeleton. */
+struct MemTraceInstr
+{
+    enum class Kind
+    {
+        Alu,
+        Load,
+        Store,
+        Branch,
+        Exit,
+    };
+    Kind kind = Kind::Alu;
+    /** Load/Store: address-generator id. Branch: condition id
+     *  (-1 = unconditional). */
+    int gen = -1;
+    int taken = -1;
+    int fall = -1;
+    int reconv = -1;
+};
+
+/** One generated warp memory access (one dynamic instruction). */
+struct MemTraceAccess
+{
+    Cycle cycle = 0;
+    int core = 0;
+    unsigned block = 0; ///< global thread-block id
+    int warp = 0;       ///< static warp within the block
+    bool store = false;
+    std::uint64_t mask = 0; ///< active lanes
+    std::vector<VirtAddr> addrs; ///< one per set bit, lane order
+};
+
+/** One resolved conditional branch of a warp. */
+struct MemTraceBranch
+{
+    unsigned block = 0;
+    int warp = 0;
+    int condGen = -1;
+    std::uint64_t mask = 0;
+    std::uint64_t taken = 0; ///< subset of mask
+};
+
+/** A fully loaded trace. */
+struct MemTraceData
+{
+    MemTraceMeta meta;
+    std::vector<MemTraceRegion> regions;
+    unsigned numAddrGens = 0;
+    unsigned numCondGens = 0;
+    /** Instruction lists per basic block, block id = index. */
+    std::vector<std::vector<MemTraceInstr>> blocks;
+    std::vector<MemTraceAccess> accesses;
+    std::vector<MemTraceBranch> branches;
+    Cycle cycles = 0; ///< total cycles of the source run
+};
+
+/**
+ * Streaming trace writer; the observation-only capture sink.
+ *
+ * Lifecycle: construct with the output path, setConfigName(), then
+ * GpuTop::setMemTrace() arms it on every core and calls beginRun()
+ * (header, meta, regions, program skeleton); the cores append A/B
+ * records during the run; finish() writes the end record and closes.
+ * Any I/O failure latches into ok()/error() — recording never throws
+ * and never touches simulated state.
+ */
+class MemTraceWriter
+{
+  public:
+    explicit MemTraceWriter(const std::string &path);
+
+    MemTraceWriter(const MemTraceWriter &) = delete;
+    MemTraceWriter &operator=(const MemTraceWriter &) = delete;
+
+    /** Config label for the meta record; call before beginRun. */
+    void setConfigName(const std::string &name) { config_ = name; }
+
+    /**
+     * Write the trace prologue. @p meta needs everything but config
+     * (merged from setConfigName). Called by GpuTop::setMemTrace.
+     */
+    bool beginRun(const MemTraceMeta &meta,
+                  const std::vector<MemTraceRegion> &regions,
+                  const KernelProgram &program);
+
+    /** Record one generated warp access (lane addresses in ascending
+     *  lane order). Called at address-generation time, once per
+     *  dynamic memory instruction. */
+    void recordAccess(Cycle now, int core, unsigned block, int warp,
+                      bool store, std::uint64_t mask,
+                      const std::vector<VirtAddr> &addrs);
+
+    /** Record one resolved conditional branch (condGen >= 0 only). */
+    void recordBranch(unsigned block, int warp, int cond_gen,
+                      std::uint64_t mask, std::uint64_t taken);
+
+    /** Write the end record and close. @p cycles = source run total. */
+    bool finish(Cycle cycles);
+
+    bool ok() const { return ok_; }
+    const std::string &error() const { return error_; }
+    std::uint64_t accessesRecorded() const { return accesses_; }
+    std::uint64_t branchesRecorded() const { return branches_; }
+
+  private:
+    void fail(const std::string &why);
+
+    std::string path_;
+    std::string config_;
+    std::ofstream out_;
+    bool ok_ = true;
+    bool begun_ = false;
+    bool finished_ = false;
+    std::string error_;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t branches_ = 0;
+    Cycle lastCycle_ = 0;
+};
+
+/**
+ * Parse a memtrace from @p in. Returns false with a one-line
+ * description in @p err on any malformed input: bad magic, an
+ * unsupported version, missing/duplicate prologue records, lane/mask
+ * inconsistencies, out-of-order access cycles, or truncation (EOF
+ * before `end`, or `end` counts that do not match the records seen).
+ */
+bool loadMemTrace(std::istream &in, MemTraceData &out,
+                  std::string &err);
+
+/** loadMemTrace() over a file; unreadable paths are an error too. */
+bool loadMemTraceFile(const std::string &path, MemTraceData &out,
+                      std::string &err);
+
+} // namespace gpummu
+
+#endif // TRACE_MEMTRACE_HH

@@ -19,6 +19,9 @@ std::unique_ptr<Workload> makeStreamcluster(const WorkloadParams &p);
 std::unique_ptr<Workload> makeMummergpu(const WorkloadParams &p);
 std::unique_ptr<Workload> makePathfinder(const WorkloadParams &p);
 std::unique_ptr<Workload> makeMemcached(const WorkloadParams &p);
+std::unique_ptr<Workload> makeHashprobe(const WorkloadParams &p);
+std::unique_ptr<Workload> makeSpgrid(const WorkloadParams &p);
+std::unique_ptr<Workload> makeService(const WorkloadParams &p);
 
 } // namespace gpummu
 

@@ -1,0 +1,149 @@
+#include "workloads/replay.hh"
+
+#include "gpu/simt_stack.hh"
+#include "sim/logging.hh"
+
+namespace gpummu {
+
+TraceReplayWorkload::TraceReplayWorkload(MemTraceData data)
+    : Workload(WorkloadParams{data.meta.seed, data.meta.scale}),
+      data_(std::move(data))
+{
+    const std::size_t threads =
+        static_cast<std::size_t>(data_.meta.numBlocks) *
+        data_.meta.threadsPerBlock;
+    addrStream_.assign(threads, {});
+    condStream_.assign(threads, {});
+
+    // Scatter the per-warp records into per-thread streams. A thread
+    // executes its instructions in program order whatever the warp
+    // schedule, so file order (cycle order within each warp) is
+    // already each thread's pop order.
+    const unsigned tpb = data_.meta.threadsPerBlock;
+    for (const MemTraceAccess &a : data_.accesses) {
+        std::size_t i = 0;
+        for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+            if (!(a.mask & (std::uint64_t(1) << lane)))
+                continue;
+            const std::size_t tid =
+                static_cast<std::size_t>(a.block) * tpb +
+                static_cast<std::size_t>(a.warp) * kWarpWidth + lane;
+            addrStream_[tid].push_back(a.addrs[i++]);
+        }
+    }
+    for (const MemTraceBranch &b : data_.branches) {
+        for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+            if (!(b.mask & (std::uint64_t(1) << lane)))
+                continue;
+            const std::size_t tid =
+                static_cast<std::size_t>(b.block) * tpb +
+                static_cast<std::size_t>(b.warp) * kWarpWidth + lane;
+            condStream_[tid].push_back(
+                (b.taken >> lane) & 1 ? 1 : 0);
+        }
+    }
+}
+
+std::unique_ptr<TraceReplayWorkload>
+TraceReplayWorkload::fromFile(const std::string &path)
+{
+    MemTraceData data;
+    std::string err;
+    if (!loadMemTraceFile(path, data, err))
+        GPUMMU_FATAL(err);
+    return std::make_unique<TraceReplayWorkload>(std::move(data));
+}
+
+void
+TraceReplayWorkload::build(AddressSpace &as)
+{
+    if (as.usesLargePages() != data_.meta.largePages) {
+        GPUMMU_FATAL(
+            "trace was captured with large=",
+            data_.meta.largePages ? 1 : 0,
+            " but this config maps ",
+            as.usesLargePages() ? "2MB" : "4KB",
+            " pages; region bases would shift and the recorded "
+            "addresses would not land. Replay under a config with "
+            "the matching page size.");
+    }
+    // Same names/sizes in the same order reproduce the source run's
+    // region bases exactly (AddressSpace VAs are deterministic in
+    // mmap order), so recorded addresses land where they did.
+    for (const MemTraceRegion &r : data_.regions)
+        as.mmap(r.name, r.bytes);
+
+    // Rebuild the skeleton with every generator popping the thread's
+    // recorded stream. Generator *ids* in the trace are irrelevant at
+    // replay — all streams interleave in the thread's program order —
+    // so loads/stores share one addr generator and conditional
+    // branches one cond generator.
+    prog_ = std::make_unique<KernelProgram>(data_.meta.bench +
+                                            ".replay");
+    for (std::size_t b = 0; b < data_.blocks.size(); ++b)
+        prog_->addBlock();
+    const int addr_gen = prog_->addAddrGen(
+        [this](ThreadCtx &c) { return popAddr(c.globalTid); });
+    const int cond_gen = prog_->addCondGen(
+        [this](ThreadCtx &c) { return popCond(c.globalTid); });
+    for (std::size_t b = 0; b < data_.blocks.size(); ++b) {
+        const int blk = static_cast<int>(b);
+        for (const MemTraceInstr &in : data_.blocks[b]) {
+            switch (in.kind) {
+              case MemTraceInstr::Kind::Alu:
+                prog_->appendAlu(blk);
+                break;
+              case MemTraceInstr::Kind::Load:
+                prog_->appendLoad(blk, addr_gen);
+                break;
+              case MemTraceInstr::Kind::Store:
+                prog_->appendStore(blk, addr_gen);
+                break;
+              case MemTraceInstr::Kind::Branch:
+                prog_->appendBranch(blk,
+                                    in.gen >= 0 ? cond_gen : -1,
+                                    in.taken, in.fall, in.reconv);
+                break;
+              case MemTraceInstr::Kind::Exit:
+                prog_->appendExit(blk);
+                break;
+            }
+        }
+    }
+
+    // Rewind so a fresh GpuTop can re-run the same workload object.
+    addrCursor_.assign(addrStream_.size(), 0);
+    condCursor_.assign(condStream_.size(), 0);
+}
+
+VirtAddr
+TraceReplayWorkload::popAddr(int tid)
+{
+    const auto t = static_cast<std::size_t>(tid);
+    auto &cur = addrCursor_[t];
+    const auto &q = addrStream_[t];
+    if (cur >= q.size()) {
+        GPUMMU_FATAL("replay address stream exhausted for thread ",
+                     tid, " (", q.size(),
+                     " recorded): the trace does not match this "
+                     "launch");
+    }
+    return q[cur++];
+}
+
+bool
+TraceReplayWorkload::popCond(int tid)
+{
+    const auto t = static_cast<std::size_t>(tid);
+    auto &cur = condCursor_[t];
+    const auto &q = condStream_[t];
+    if (cur >= q.size()) {
+        GPUMMU_FATAL("replay branch stream exhausted for thread ",
+                     tid, " (", q.size(),
+                     " recorded): the trace does not match this "
+                     "launch");
+    }
+    return q[cur++] != 0;
+}
+
+} // namespace gpummu

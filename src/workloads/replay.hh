@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Trace-replay workload: a captured (or externally produced) memtrace
+ * driving the TLB/PTW/L2-TLB/IOMMU stack as a first-class Workload.
+ *
+ * The trace's program skeleton is rebuilt with every address and
+ * condition generator replaced by a per-thread FIFO pop over the
+ * recorded decision streams. Those streams are pure per-thread
+ * functions of the program — a thread executes its instructions in
+ * program order regardless of warp scheduling — so distributing the
+ * recorded lane values back to per-thread queues reproduces the
+ * source run bit-identically under the same config, and replays as a
+ * portable workload under different design points (core counts, TLB
+ * geometries, the IOMMU).
+ */
+
+#ifndef WORKLOADS_REPLAY_HH
+#define WORKLOADS_REPLAY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/memtrace.hh"
+#include "workloads/workload.hh"
+
+namespace gpummu {
+
+class TraceReplayWorkload : public Workload
+{
+  public:
+    /** Takes ownership of a loaded trace (fromFile() loads one). */
+    explicit TraceReplayWorkload(MemTraceData data);
+
+    /** Load @p path and wrap it; fatal on a malformed trace. */
+    static std::unique_ptr<TraceReplayWorkload>
+    fromFile(const std::string &path);
+
+    /** The *recorded* benchmark name, so a replayed run's stat dump
+     *  is byte-identical to the source run's. */
+    std::string name() const override { return data_.meta.bench; }
+
+    void build(AddressSpace &as) override;
+
+    const KernelProgram &program() const override { return *prog_; }
+    unsigned threadsPerBlock() const override
+    {
+        return data_.meta.threadsPerBlock;
+    }
+    unsigned numBlocks() const override
+    {
+        return data_.meta.numBlocks;
+    }
+
+    const MemTraceMeta &meta() const { return data_.meta; }
+
+  private:
+    VirtAddr popAddr(int tid);
+    bool popCond(int tid);
+
+    MemTraceData data_;
+    std::unique_ptr<KernelProgram> prog_;
+    /** Per-thread decision streams, index = global thread id. */
+    std::vector<std::vector<VirtAddr>> addrStream_;
+    std::vector<std::vector<std::uint8_t>> condStream_;
+    std::vector<std::size_t> addrCursor_;
+    std::vector<std::size_t> condCursor_;
+};
+
+} // namespace gpummu
+
+#endif // WORKLOADS_REPLAY_HH

@@ -10,7 +10,9 @@ allBenchmarks()
 {
     return {BenchmarkId::Bfs,           BenchmarkId::Kmeans,
             BenchmarkId::Streamcluster, BenchmarkId::Mummergpu,
-            BenchmarkId::Pathfinder,    BenchmarkId::Memcached};
+            BenchmarkId::Pathfinder,    BenchmarkId::Memcached,
+            BenchmarkId::Hashprobe,     BenchmarkId::Spgrid,
+            BenchmarkId::Service};
 }
 
 std::string
@@ -29,6 +31,12 @@ benchmarkName(BenchmarkId id)
         return "pathfinder";
       case BenchmarkId::Memcached:
         return "memcached";
+      case BenchmarkId::Hashprobe:
+        return "hashprobe";
+      case BenchmarkId::Spgrid:
+        return "spgrid";
+      case BenchmarkId::Service:
+        return "service";
     }
     GPUMMU_PANIC("unknown benchmark id");
 }
@@ -61,6 +69,12 @@ makeWorkload(BenchmarkId id, const WorkloadParams &params)
         return makePathfinder(params);
       case BenchmarkId::Memcached:
         return makeMemcached(params);
+      case BenchmarkId::Hashprobe:
+        return makeHashprobe(params);
+      case BenchmarkId::Spgrid:
+        return makeSpgrid(params);
+      case BenchmarkId::Service:
+        return makeService(params);
     }
     GPUMMU_PANIC("unknown benchmark id");
 }

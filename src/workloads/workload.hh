@@ -59,7 +59,8 @@ class Workload
     WorkloadParams params_;
 };
 
-/** The six paper benchmarks. */
+/** The six paper benchmarks, plus the translation-stress classes
+ *  added beyond the paper (hashprobe, spgrid, service). */
 enum class BenchmarkId
 {
     Bfs,
@@ -68,6 +69,9 @@ enum class BenchmarkId
     Mummergpu,
     Pathfinder,
     Memcached,
+    Hashprobe,
+    Spgrid,
+    Service,
 };
 
 /** All benchmarks in the paper's presentation order. */

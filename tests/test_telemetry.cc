@@ -74,7 +74,7 @@ TEST(Telemetry, ArmedRunIsBitIdenticalOnEveryWorkload)
 {
     // The acceptance bar for the whole subsystem: a telemetry-armed
     // run must be indistinguishable from an unarmed one in every
-    // simulated stat, on all six workloads.
+    // simulated stat, on every registry workload.
     const auto cfg = paperDefault();
     for (BenchmarkId id : allBenchmarks()) {
         const RunOutput plain = runConfigFull(id, cfg, tinyParams());
