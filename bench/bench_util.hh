@@ -26,10 +26,20 @@
  *                          memory-trace capture armed and write a
  *                          replayable memtrace (see
  *                          bench/trace_replay)
+ *   --spans=<file>         after the sweep, re-run one point with
+ *                          translation-lifecycle span tracking armed
+ *                          and export the per-stage latency
+ *                          decomposition; the extension picks the
+ *                          format (.csv or .json). Combined with
+ *                          --trace, one run serves both so the
+ *                          Chrome trace carries span flow arrows;
+ *                          combined with --report, the HTML report
+ *                          gains a translation-latency-anatomy
+ *                          section.
  *
- * Telemetry, tracing and trace capture are observation-only re-runs
- * of one point after the sweep; arming them never changes any table
- * number.
+ * Telemetry, tracing, trace capture and span tracking are
+ * observation-only re-runs of one point after the sweep; arming them
+ * never changes any table number.
  *
  * All numeric flags parse strictly (sim/parse_util.hh): the whole
  * value must be a number — "--jobs=4abc" is an error, not 4.
@@ -49,6 +59,7 @@
 #include "core/sweep.hh"
 #include "sim/parse_util.hh"
 #include "telemetry/report.hh"
+#include "telemetry/span.hh"
 #include "telemetry/telemetry.hh"
 #include "trace/memtrace.hh"
 #include "trace/trace.hh"
@@ -74,6 +85,8 @@ struct Options
     std::string reportFile;
     /** Memtrace capture output path; empty disables capture. */
     std::string captureTrace;
+    /** Span export path (.csv or .json); empty disables spans. */
+    std::string spansFile;
 };
 
 /**
@@ -163,6 +176,19 @@ tryParse(int argc, char **argv, Options &opt, std::string &err,
             opt.captureTrace = v;
             if (opt.captureTrace.empty()) {
                 err = "--capture-trace wants an output path";
+                return false;
+            }
+        } else if (const char *v = value("--spans")) {
+            opt.spansFile = v;
+            const std::string &p = opt.spansFile;
+            auto ends = [&p](const char *suf) {
+                const std::string s = suf;
+                return p.size() >= s.size() &&
+                       p.compare(p.size() - s.size(), s.size(), s) ==
+                           0;
+            };
+            if (p.empty() || (!ends(".csv") && !ends(".json"))) {
+                err = "--spans wants a .csv or .json path";
                 return false;
             }
         } else if (const char *v = value("--bench")) {
@@ -271,8 +297,17 @@ maybeTelemetryRun(const Options &opt, const SystemConfig &cfg)
     TelemetryConfig tcfg;
     tcfg.sampleInterval = opt.sampleInterval;
     Telemetry telemetry(tcfg);
+    // When spans are requested alongside a report, arm them on the
+    // telemetry run too so the HTML report gains the translation-
+    // latency-anatomy section (spans register no stats, so the run
+    // is bit-identical either way).
+    SpanTracker spans;
+    SpanTracker *span_arm =
+        (!opt.spansFile.empty() && !opt.reportFile.empty()) ? &spans
+                                                            : nullptr;
     const BenchmarkId bench = opt.benchmarks.front();
-    runConfigFull(bench, cfg, opt.params, nullptr, &telemetry);
+    runConfigFull(bench, cfg, opt.params, nullptr, &telemetry,
+                  nullptr, span_arm);
     if (!opt.sampleOut.empty()) {
         const bool csv =
             opt.sampleOut.size() >= 4 &&
@@ -293,7 +328,8 @@ maybeTelemetryRun(const Options &opt, const SystemConfig &cfg)
                   << "]\n";
     }
     if (!opt.reportFile.empty()) {
-        if (!writeHtmlReportFile(opt.reportFile, telemetry)) {
+        if (!writeHtmlReportFile(opt.reportFile, telemetry,
+                                 span_arm)) {
             std::cerr << "report has an empty hot-page table (no "
                          "walks attributed): "
                       << opt.reportFile << "\n";
@@ -329,13 +365,80 @@ maybeCaptureRun(const Options &opt, const SystemConfig &cfg)
               << benchmarkName(bench) << " / " << cfg.name << "]\n";
 }
 
+/**
+ * Honor --spans=<file>: re-simulate one (benchmark, config) point
+ * with translation-lifecycle span tracking armed and export the
+ * per-stage latency decomposition (CSV or JSON by extension), plus a
+ * summary to stderr. When --trace was also given, this single run
+ * serves both exports so the Chrome trace carries the span flow
+ * arrows (with --trace alone the output is byte-identical to a
+ * span-less traced run, since spans emit nothing without a sink).
+ * An empty span table is fatal: the run observed no translation
+ * requests, so the hooks are not armed or the workload never issued
+ * a memory access.
+ */
+inline void
+maybeSpanRun(const Options &opt, const SystemConfig &cfg)
+{
+    if (opt.spansFile.empty())
+        return;
+    SpanTracker spans;
+    TraceSink sink;
+    TraceSink *trace = nullptr;
+    if (!opt.traceFile.empty()) {
+        if (!opt.traceFilter.empty())
+            sink.setFilter(opt.traceFilter);
+        trace = &sink;
+    }
+    const BenchmarkId bench = opt.benchmarks.front();
+    runConfigFull(bench, cfg, opt.params, trace, nullptr, nullptr,
+                  &spans);
+    if (trace != nullptr) {
+        if (!sink.writeChromeTraceFile(opt.traceFile)) {
+            std::cerr << "failed to write trace: " << opt.traceFile
+                      << "\n";
+            std::exit(1);
+        }
+        std::cerr << "trace: " << sink.size() << " events ("
+                  << sink.dropped() << " dropped) -> "
+                  << opt.traceFile << " [" << benchmarkName(bench)
+                  << " / " << cfg.name << "]\n";
+    }
+    if (spans.empty()) {
+        std::cerr << "span table is empty: no translation requests "
+                     "were observed ["
+                  << benchmarkName(bench) << " / " << cfg.name
+                  << "]\n";
+        std::exit(1);
+    }
+    const bool csv =
+        opt.spansFile.size() >= 4 &&
+        opt.spansFile.compare(opt.spansFile.size() - 4, 4, ".csv") ==
+            0;
+    const bool ok = csv ? spans.writeCsvFile(opt.spansFile)
+                        : spans.writeJsonFile(opt.spansFile);
+    if (!ok) {
+        std::cerr << "failed to write spans: " << opt.spansFile
+                  << "\n";
+        std::exit(1);
+    }
+    spans.writeSummary(std::cerr);
+    std::cerr << "spans: " << spans.spansClosed() << " closed ("
+              << spans.spansOpen() << " open at end) -> "
+              << opt.spansFile << " [" << benchmarkName(bench)
+              << " / " << cfg.name << "]\n";
+}
+
 /** Run every requested post-sweep observation of @p cfg (trace,
- *  telemetry, memtrace capture); each is its own armed
- *  re-simulation. */
+ *  telemetry, memtrace capture, spans); each is its own armed
+ *  re-simulation, except that --spans + --trace share one run so
+ *  the trace carries span flow arrows. */
 inline void
 maybeObserveRun(const Options &opt, const SystemConfig &cfg)
 {
-    maybeTraceRun(opt, cfg);
+    if (opt.spansFile.empty())
+        maybeTraceRun(opt, cfg);
+    maybeSpanRun(opt, cfg);
     maybeTelemetryRun(opt, cfg);
     maybeCaptureRun(opt, cfg);
 }

@@ -25,6 +25,12 @@
  *   --sample-interval=<n>      telemetry interval for the re-run
  *   --sample-out=<file>        interval series (.csv or .json)
  *   --report=<file>            self-contained HTML run report
+ *   --spans=<file>             re-run with translation-lifecycle
+ *                              span tracking armed and export the
+ *                              per-stage latency decomposition
+ *                              (.csv or .json); span keys carry each
+ *                              tenant's ASID, so the export breaks
+ *                              the anatomy down per process
  */
 
 #include <cstdlib>
@@ -35,6 +41,7 @@
 #include "core/presets.hh"
 #include "sim/parse_util.hh"
 #include "telemetry/report.hh"
+#include "telemetry/span.hh"
 #include "telemetry/telemetry.hh"
 #include "trace/trace.hh"
 
@@ -64,6 +71,7 @@ main(int argc, char **argv)
     Cycle sample_interval = 0;
     std::string sample_out;
     std::string report_file;
+    std::string spans_file;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -122,6 +130,17 @@ main(int argc, char **argv)
             sample_out = v;
         } else if (const char *v = value("--report")) {
             report_file = v;
+        } else if (const char *v = value("--spans")) {
+            spans_file = v;
+            const std::string p = spans_file;
+            const auto dot = p.rfind('.');
+            const std::string ext =
+                dot == std::string::npos ? "" : p.substr(dot);
+            if (ext != ".csv" && ext != ".json") {
+                std::cerr
+                    << "--spans wants a .csv or .json path\n";
+                return 1;
+            }
         } else {
             std::cerr << "unknown option: " << arg << "\n";
             return 1;
@@ -170,22 +189,55 @@ main(int argc, char **argv)
               << " (splinters " << res.splinters << ")"
               << "\niommu hit rate    " << hit_rate << "\n";
 
-    if (!trace_file.empty()) {
+    // One armed re-run serves --trace and --spans together so the
+    // Chrome trace carries the translation span flow arrows.
+    if (!trace_file.empty() || !spans_file.empty()) {
         TraceSink sink;
-        runMultiTenant(cfg, &sink);
-        if (!sink.writeChromeTraceFile(trace_file)) {
-            std::cerr << "failed to write trace: " << trace_file
-                      << "\n";
-            return 1;
+        SpanTracker spans;
+        runMultiTenant(cfg,
+                       trace_file.empty() ? nullptr : &sink, nullptr,
+                       spans_file.empty() ? nullptr : &spans);
+        if (!trace_file.empty()) {
+            if (!sink.writeChromeTraceFile(trace_file)) {
+                std::cerr << "failed to write trace: " << trace_file
+                          << "\n";
+                return 1;
+            }
+            std::cerr << "trace: " << sink.size() << " events -> "
+                      << trace_file << "\n";
         }
-        std::cerr << "trace: " << sink.size() << " events -> "
-                  << trace_file << "\n";
+        if (!spans_file.empty()) {
+            if (spans.empty()) {
+                std::cerr << "span table is empty: no translation "
+                             "requests were observed\n";
+                return 1;
+            }
+            const bool csv =
+                spans_file.size() >= 4 &&
+                spans_file.compare(spans_file.size() - 4, 4,
+                                   ".csv") == 0;
+            const bool ok = csv ? spans.writeCsvFile(spans_file)
+                                : spans.writeJsonFile(spans_file);
+            if (!ok) {
+                std::cerr << "failed to write spans: " << spans_file
+                          << "\n";
+                return 1;
+            }
+            spans.writeSummary(std::cerr);
+            std::cerr << "spans: " << spans.spansClosed()
+                      << " closed (" << spans.spansOpen()
+                      << " open at end) -> " << spans_file << "\n";
+        }
     }
     if (sample_interval != 0) {
         TelemetryConfig tcfg;
         tcfg.sampleInterval = sample_interval;
         Telemetry telemetry(tcfg);
-        runMultiTenant(cfg, nullptr, &telemetry);
+        SpanTracker spans;
+        SpanTracker *span_arm =
+            (!spans_file.empty() && !report_file.empty()) ? &spans
+                                                          : nullptr;
+        runMultiTenant(cfg, nullptr, &telemetry, span_arm);
         if (!sample_out.empty()) {
             const bool csv =
                 sample_out.size() >= 4 &&
@@ -204,7 +256,8 @@ main(int argc, char **argv)
                       << " intervals -> " << sample_out << "\n";
         }
         if (!report_file.empty()) {
-            if (!writeHtmlReportFile(report_file, telemetry)) {
+            if (!writeHtmlReportFile(report_file, telemetry,
+                                     span_arm)) {
                 std::cerr << "report has an empty hot-page table: "
                           << report_file << "\n";
                 return 1;

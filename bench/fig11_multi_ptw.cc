@@ -39,6 +39,9 @@ main(int argc, char **argv)
     table.print(std::cout);
     std::cout << "\npaper shape: the augmented single PTW beats the "
                  "8-walker naive design.\n";
-    benchutil::maybeObserveRun(opt, aug);
+    // Observe the figure's own subject: the 8-walker naive point.
+    // Pairs with fig02 (1-walker naive) for a two-walker-count
+    // queueing-vs-service comparison via --spans (EXPERIMENTS.md).
+    benchutil::maybeObserveRun(opt, presets::naiveTlbMultiPtw(8));
     return 0;
 }

@@ -13,22 +13,33 @@
  * Usage:
  *   simbench [--scale=<f>] [--seed=<n>] [--repeat=<n>] [--quick]
  *            [--pr=<n>] [--bench-out=<path>]
+ *            [--compare=<old.json>] [--regress-tol=<frac>]
  *
- *   --scale      workload scale factor (default 0.25)
- *   --seed       workload seed (default 42)
- *   --repeat     timed repeats per point; the best wall time is
- *                reported, and every repeat must reproduce identical
- *                cycles/events (the harness self-check; default 3)
- *   --quick      only the memcached and mummergpu augmented-TLB
- *                points (the CI smoke configuration)
- *   --pr         PR sequence number; default output path is
- *                BENCH_<pr>.json in the current directory
- *   --bench-out  explicit output path (overrides --pr naming)
+ *   --scale       workload scale factor (default 0.25)
+ *   --seed        workload seed (default 42)
+ *   --repeat      timed repeats per point; the best wall time is
+ *                 reported, and every repeat must reproduce identical
+ *                 cycles/events (the harness self-check; default 3)
+ *   --quick       only the memcached and mummergpu augmented-TLB
+ *                 points (the CI smoke configuration)
+ *   --pr          PR sequence number; default output path is
+ *                 BENCH_<pr>.json in the current directory
+ *   --bench-out   explicit output path (overrides --pr naming)
+ *   --compare     diff this run against an older BENCH_<n>.json:
+ *                 per-point cycles/sec deltas for every point present
+ *                 in both files, with a note when the deterministic
+ *                 cycle/event counts drifted (a modelling change, so
+ *                 the throughput delta is not apples-to-apples)
+ *   --regress-tol fraction by which a common point's cycles/sec may
+ *                 drop before --compare fails the run (default 1.0,
+ *                 i.e. informational only; --regress-tol=0.15 fails
+ *                 on any >15% throughput regression)
  *
- * Exit codes: 0 ok; 1 self-check or validation failure; 2 bad usage
- * or unwritable output path.
+ * Exit codes: 0 ok; 1 self-check, validation or --compare regression
+ * failure; 2 bad usage or unwritable output path.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -83,6 +94,107 @@ parseArg(const std::string &arg, const std::string &key,
     return true;
 }
 
+/**
+ * Diff @p report against the archived BENCH json at @p path:
+ * per-point cycles/sec deltas for every point id present in both.
+ * Returns the worst throughput ratio (new/old) across comparable
+ * points, or a negative value when the old file cannot be read or
+ * parsed (the caller treats that as usage error, not a regression).
+ * Points whose deterministic cycles/events drifted are flagged: a
+ * modelling change makes the wall-clock delta not apples-to-apples.
+ */
+double
+comparePoints(const BenchReport &report, const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        std::cerr << "simbench: --compare: cannot read '" << path
+                  << "'\n";
+        return -1.0;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    JsonValue doc;
+    std::string err;
+    if (!parseJson(buf.str(), doc, &err)) {
+        std::cerr << "simbench: --compare: " << err << "\n";
+        return -1.0;
+    }
+    const JsonValue *points = doc.find("points");
+    if (points == nullptr ||
+        points->kind != JsonValue::Kind::Array) {
+        std::cerr << "simbench: --compare: '" << path
+                  << "' has no points array\n";
+        return -1.0;
+    }
+    const JsonValue *old_pr = doc.find("pr");
+    std::cout << "\ncomparison vs " << path;
+    if (old_pr != nullptr &&
+        old_pr->kind == JsonValue::Kind::Number) {
+        std::cout << " (pr " << static_cast<int>(old_pr->number)
+                  << ")";
+    }
+    std::cout << ":\n";
+
+    double worst_ratio = 1e300;
+    std::size_t compared = 0;
+    for (const BenchMeasurement &m : report.points) {
+        const JsonValue *old_pt = nullptr;
+        for (const JsonValue &p : points->items) {
+            const JsonValue *id = p.find("point");
+            if (id != nullptr &&
+                id->kind == JsonValue::Kind::String &&
+                id->str == m.point) {
+                old_pt = &p;
+                break;
+            }
+        }
+        if (old_pt == nullptr) {
+            std::cout << "  " << m.point
+                      << ": not in old report (new point)\n";
+            continue;
+        }
+        const JsonValue *old_cps = old_pt->find("cycles_per_sec");
+        if (old_cps == nullptr ||
+            old_cps->kind != JsonValue::Kind::Number ||
+            !(old_cps->number > 0.0)) {
+            std::cout << "  " << m.point
+                      << ": old report lacks a usable "
+                         "cycles_per_sec\n";
+            continue;
+        }
+        const double ratio = m.cyclesPerSec() / old_cps->number;
+        const double delta_pct = (ratio - 1.0) * 100.0;
+        std::cout << "  " << m.point << ": "
+                  << static_cast<std::uint64_t>(old_cps->number)
+                  << " -> "
+                  << static_cast<std::uint64_t>(m.cyclesPerSec())
+                  << " cyc/s (" << (delta_pct >= 0.0 ? "+" : "")
+                  << delta_pct << "%)";
+        const JsonValue *oc = old_pt->find("cycles");
+        const JsonValue *oe = old_pt->find("events_fired");
+        const bool drifted =
+            (oc != nullptr && oc->kind == JsonValue::Kind::Number &&
+             static_cast<std::uint64_t>(oc->number) != m.cycles) ||
+            (oe != nullptr && oe->kind == JsonValue::Kind::Number &&
+             static_cast<std::uint64_t>(oe->number) !=
+                 m.eventsFired);
+        if (drifted) {
+            std::cout << " [deterministic outputs drifted: "
+                         "modelling change, not comparable]";
+        } else {
+            worst_ratio = std::min(worst_ratio, ratio);
+            ++compared;
+        }
+        std::cout << "\n";
+    }
+    if (compared == 0) {
+        std::cout << "  (no comparable points)\n";
+        return 1.0;
+    }
+    return worst_ratio;
+}
+
 } // namespace
 
 int
@@ -92,9 +204,11 @@ main(int argc, char **argv)
     params.scale = 0.25;
     params.seed = 42;
     int repeat = 3;
-    int pr = 6;
+    int pr = 10;
     bool quick = false;
     std::string out_path;
+    std::string compare_path;
+    double regress_tol = 1.0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -126,6 +240,20 @@ main(int argc, char **argv)
             }
         } else if (parseArg(arg, "--bench-out", val)) {
             out_path = val;
+        } else if (parseArg(arg, "--compare", val)) {
+            compare_path = val;
+            if (compare_path.empty()) {
+                std::cerr << "simbench: --compare wants a path\n";
+                return 2;
+            }
+        } else if (parseArg(arg, "--regress-tol", val)) {
+            if (!parseDouble(val, regress_tol) ||
+                !(regress_tol >= 0.0) || !(regress_tol <= 1.0)) {
+                std::cerr << "simbench: --regress-tol wants a "
+                             "fraction in [0,1], got '"
+                          << val << "'\n";
+                return 2;
+            }
         } else if (arg == "--quick") {
             quick = true;
         } else {
@@ -213,5 +341,19 @@ main(int argc, char **argv)
     std::cout << "wrote " << out_path << " ("
               << report.points.size() << " points, schema v"
               << kBenchSchemaVersion << ")\n";
+
+    if (!compare_path.empty()) {
+        const double worst = comparePoints(report, compare_path);
+        if (worst < 0.0)
+            return 2;
+        if (worst < 1.0 - regress_tol) {
+            std::cerr << "simbench: throughput regression: worst "
+                         "comparable point at "
+                      << worst << "x of " << compare_path
+                      << " (tolerance " << (1.0 - regress_tol)
+                      << "x)\n";
+            return 1;
+        }
+    }
     return 0;
 }

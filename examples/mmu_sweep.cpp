@@ -14,6 +14,7 @@
  *                  [--trace=<file>] [--trace-filter=<prefix>]
  *                  [--sample-interval=<cycles>] [--sample-out=<file>]
  *                  [--report=<file>] [--capture-trace=<file>]
+ *                  [--spans=<file>]
  *        (jobs defaults to GPUMMU_JOBS, else all hardware threads)
  *
  * With --trace=<file>, one extra run of the augmented design point is
@@ -34,6 +35,16 @@
  * with memory-trace capture armed and the result is written as a
  * replayable memtrace (drive it back through the MMU stack with
  * bench/trace_replay).
+ *
+ * With --spans=<file>, the augmented design point is re-run with
+ * translation-lifecycle span tracking armed: every translation
+ * request gets a cycle-stamped timeline through TLB lookup, L2/MSHR,
+ * walker queueing and service, and fill. The per-stage latency
+ * decomposition is exported as .csv or .json (by extension) and a
+ * summary is printed. Combined with --trace, the one armed run
+ * serves both so the Chrome trace carries span flow arrows; combined
+ * with --report, the HTML report gains a translation-latency-anatomy
+ * section.
  */
 
 #include <iostream>
@@ -45,6 +56,7 @@
 #include "core/sweep.hh"
 #include "sim/parse_util.hh"
 #include "telemetry/report.hh"
+#include "telemetry/span.hh"
 #include "telemetry/telemetry.hh"
 #include "trace/memtrace.hh"
 #include "trace/trace.hh"
@@ -56,7 +68,7 @@ main(int argc, char **argv)
 {
     // Flags can appear anywhere; positionals keep their order.
     std::string trace_file, trace_filter, sample_out, report_file;
-    std::string capture_file;
+    std::string capture_file, spans_file;
     Cycle sample_interval = 0;
     std::vector<std::string> pos;
     for (int i = 1; i < argc; ++i) {
@@ -103,13 +115,23 @@ main(int argc, char **argv)
                 std::cerr << "--report wants an output path\n";
                 return 2;
             }
+        } else if (arg.rfind("--spans=", 0) == 0) {
+            spans_file = arg.substr(8);
+            const auto dot = spans_file.rfind('.');
+            const std::string ext =
+                dot == std::string::npos ? "" : spans_file.substr(dot);
+            if (ext != ".csv" && ext != ".json") {
+                std::cerr << "--spans wants a .csv or .json path\n";
+                return 2;
+            }
         } else if (arg.rfind("--", 0) == 0) {
             std::cerr << "unknown option: " << arg
                       << "\nusage: mmu_sweep [benchmark] [scale] "
                          "[jobs] [--trace=<file>] "
                          "[--trace-filter=<prefix>] "
                          "[--sample-interval=<cycles>] "
-                         "[--sample-out=<file>] [--report=<file>]\n";
+                         "[--sample-out=<file>] [--report=<file>] "
+                         "[--capture-trace=<file>] [--spans=<file>]\n";
             return 2;
         } else {
             pos.push_back(arg);
@@ -195,31 +217,71 @@ main(int argc, char **argv)
 
     // A TraceSink belongs to exactly one run, so the traced point is
     // a separate simulation after the sweep (timing is bit-identical
-    // either way; tracing is observation-only).
-    if (!trace_file.empty()) {
+    // either way; tracing is observation-only). With --spans the one
+    // armed run serves both exports, so the Chrome trace carries the
+    // translation span flow arrows.
+    if (!trace_file.empty() || !spans_file.empty()) {
         TraceSink sink;
         if (!trace_filter.empty())
             sink.setFilter(trace_filter);
+        SpanTracker spans;
         const SystemConfig traced = presets::augmentedTlb();
-        runConfigFull(bench, traced, params, &sink);
-        if (!sink.writeChromeTraceFile(trace_file)) {
-            std::cerr << "failed to write trace: " << trace_file
-                      << "\n";
-            return 1;
+        runConfigFull(bench, traced, params,
+                      trace_file.empty() ? nullptr : &sink, nullptr,
+                      nullptr, spans_file.empty() ? nullptr : &spans);
+        if (!trace_file.empty()) {
+            if (!sink.writeChromeTraceFile(trace_file)) {
+                std::cerr << "failed to write trace: " << trace_file
+                          << "\n";
+                return 1;
+            }
+            std::cout << "\ntrace: " << sink.size() << " events ("
+                      << sink.dropped() << " dropped) -> "
+                      << trace_file << " [" << name << " / "
+                      << traced.name << "]\n";
         }
-        std::cout << "\ntrace: " << sink.size() << " events ("
-                  << sink.dropped() << " dropped) -> " << trace_file
-                  << " [" << name << " / " << traced.name << "]\n";
+        if (!spans_file.empty()) {
+            if (spans.empty()) {
+                std::cerr << "span table is empty: no translation "
+                             "requests were observed ["
+                          << name << " / " << traced.name << "]\n";
+                return 1;
+            }
+            const bool csv =
+                spans_file.size() >= 4 &&
+                spans_file.compare(spans_file.size() - 4, 4,
+                                   ".csv") == 0;
+            const bool ok = csv ? spans.writeCsvFile(spans_file)
+                                : spans.writeJsonFile(spans_file);
+            if (!ok) {
+                std::cerr << "failed to write spans: " << spans_file
+                          << "\n";
+                return 1;
+            }
+            std::cout << "\n";
+            spans.writeSummary(std::cout);
+            std::cout << "spans: " << spans.spansClosed()
+                      << " closed (" << spans.spansOpen()
+                      << " open at end) -> " << spans_file << " ["
+                      << name << " / " << traced.name << "]\n";
+        }
     }
 
     // Telemetry likewise belongs to one run: sample the augmented
-    // design point in a separate armed simulation.
+    // design point in a separate armed simulation. Spans ride along
+    // when requested so the HTML report gains the translation-
+    // latency-anatomy section.
     if (sample_interval != 0) {
         TelemetryConfig tcfg;
         tcfg.sampleInterval = sample_interval;
         Telemetry telemetry(tcfg);
+        SpanTracker spans;
+        SpanTracker *span_arm =
+            (!spans_file.empty() && !report_file.empty()) ? &spans
+                                                          : nullptr;
         const SystemConfig sampled = presets::augmentedTlb();
-        runConfigFull(bench, sampled, params, nullptr, &telemetry);
+        runConfigFull(bench, sampled, params, nullptr, &telemetry,
+                      nullptr, span_arm);
         if (!sample_out.empty()) {
             const bool csv =
                 sample_out.size() >= 4 &&
@@ -239,7 +301,8 @@ main(int argc, char **argv)
                       << name << " / " << sampled.name << "]\n";
         }
         if (!report_file.empty()) {
-            if (!writeHtmlReportFile(report_file, telemetry)) {
+            if (!writeHtmlReportFile(report_file, telemetry,
+                                     span_arm)) {
                 std::cerr << "report has an empty hot-page table "
                              "(no walks attributed): "
                           << report_file << "\n";

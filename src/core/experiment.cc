@@ -7,6 +7,7 @@
 #include "sched/ccws.hh"
 #include "sim/logging.hh"
 #include "tbc/tbc_core.hh"
+#include "telemetry/span.hh"
 #include "telemetry/telemetry.hh"
 #include "trace/memtrace.hh"
 #include "trace/trace.hh"
@@ -104,10 +105,14 @@ armMemTrace(GpuTop &gpu, MemTraceWriter *memtrace,
 RunOutput
 runWorkloadFull(Workload &workload, const SystemConfig &cfg_in,
                 TraceSink *trace, Telemetry *telemetry,
-                MemTraceWriter *memtrace)
+                MemTraceWriter *memtrace, SpanTracker *spans)
 {
     if (telemetry != nullptr)
         telemetry->setMeta(workload.name(), cfg_in.name);
+    // With both observers armed, each span's lifecycle additionally
+    // rides the sink as Chrome-trace flow events (arrows).
+    if (spans != nullptr && trace != nullptr)
+        spans->setTraceSink(trace);
     // Fan the top-level checker switch out to every translation unit
     // of the run before any core is built.
     SystemConfig cfg = cfg_in;
@@ -161,6 +166,13 @@ runWorkloadFull(Workload &workload, const SystemConfig &cfg_in,
         // After the trace stats so an armed sampler sees them too.
         if (telemetry != nullptr)
             gpu.setTelemetry(telemetry);
+        if (spans != nullptr) {
+            gpu.setSpanTracker(spans);
+            // The shared L2 TLB is not a per-core component; arm it
+            // directly (tid -1 marks the GPU-wide instance).
+            if (l2_holder && *l2_holder)
+                (*l2_holder)->setSpanTracker(spans, -1);
+        }
         armMemTrace(gpu, memtrace, cfg);
         RunOutput out = finishRun(gpu, workload.name(), cfg);
         if (memtrace != nullptr &&
@@ -216,6 +228,13 @@ runWorkloadFull(Workload &workload, const SystemConfig &cfg_in,
         if (*iommu_holder)
             (*iommu_holder)->setHeatProfiler(&telemetry->heat(), -1);
     }
+    if (spans != nullptr) {
+        gpu.setSpanTracker(spans);
+        // The shared IOMMU is not a per-core component; arm it
+        // directly (tid -1 marks the GPU-wide instance).
+        if (*iommu_holder)
+            (*iommu_holder)->setSpanTracker(spans, -1);
+    }
     armMemTrace(gpu, memtrace, cfg);
     RunOutput out = finishRun(gpu, workload.name(), cfg);
     if (memtrace != nullptr && !memtrace->finish(out.stats.cycles)) {
@@ -232,11 +251,12 @@ runWorkloadFull(Workload &workload, const SystemConfig &cfg_in,
 RunOutput
 runConfigFull(BenchmarkId bench, const SystemConfig &cfg,
               const WorkloadParams &params, TraceSink *trace,
-              Telemetry *telemetry, MemTraceWriter *memtrace)
+              Telemetry *telemetry, MemTraceWriter *memtrace,
+              SpanTracker *spans)
 {
     auto workload = makeWorkload(bench, params);
     return runWorkloadFull(*workload, cfg, trace, telemetry,
-                           memtrace);
+                           memtrace, spans);
 }
 
 RunStats

@@ -30,6 +30,7 @@
 namespace gpummu {
 
 class MemTraceWriter;
+class SpanTracker;
 class Telemetry;
 class TraceSink;
 
@@ -63,7 +64,8 @@ RunOutput runConfigFull(BenchmarkId bench, const SystemConfig &cfg,
                         const WorkloadParams &params,
                         TraceSink *trace = nullptr,
                         Telemetry *telemetry = nullptr,
-                        MemTraceWriter *memtrace = nullptr);
+                        MemTraceWriter *memtrace = nullptr,
+                        SpanTracker *spans = nullptr);
 
 /**
  * As runConfigFull, but over an already-constructed Workload — the
@@ -73,11 +75,20 @@ RunOutput runConfigFull(BenchmarkId bench, const SystemConfig &cfg,
  * the stat registry, so an armed run's stat dump is bit-identical to
  * an unarmed one's) and finishes the trace after the run; capture on
  * a TBC topology or a failing trace write is fatal.
+ *
+ * @p spans, when non-null, arms translation-lifecycle span tracking
+ * (observation-only: it registers nothing in the stat registry, so an
+ * armed run is bit-identical to an unarmed one) on every core's MMU
+ * stack plus the shared L2 TLB or IOMMU of the configuration. When
+ * both @p trace and @p spans are armed, the tracker additionally
+ * emits Chrome-trace flow events through the sink, drawing each
+ * translation's lifecycle as arrows in chrome://tracing.
  */
 RunOutput runWorkloadFull(Workload &workload, const SystemConfig &cfg,
                           TraceSink *trace = nullptr,
                           Telemetry *telemetry = nullptr,
-                          MemTraceWriter *memtrace = nullptr);
+                          MemTraceWriter *memtrace = nullptr,
+                          SpanTracker *spans = nullptr);
 
 /**
  * Convenience harness for the benches: caches the no-TLB baseline

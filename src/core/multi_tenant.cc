@@ -6,6 +6,7 @@
 #include "core/presets.hh"
 #include "sched/ccws.hh"
 #include "sim/logging.hh"
+#include "telemetry/span.hh"
 #include "telemetry/telemetry.hh"
 #include "trace/trace.hh"
 
@@ -52,7 +53,8 @@ struct Tenant
 Cycle
 runSlice(Tenant &t, const SystemConfig &sys, Iommu &iommu,
          MemorySystem &mem, EventQueue &eq, TraceSink *trace,
-         Telemetry *telemetry, Cycle clock, unsigned blocks_per_slice)
+         Telemetry *telemetry, SpanTracker *spans, Cycle clock,
+         unsigned blocks_per_slice)
 {
     std::vector<std::unique_ptr<SimtCore>> cores;
     cores.reserve(sys.numCores);
@@ -67,6 +69,8 @@ runSlice(Tenant &t, const SystemConfig &sys, Iommu &iommu,
             core->setTraceSink(trace);
         if (telemetry != nullptr)
             core->setHeatProfiler(&telemetry->heat());
+        if (spans != nullptr)
+            core->setSpanTracker(spans);
         cores.push_back(std::move(core));
     }
 
@@ -158,7 +162,7 @@ runSlice(Tenant &t, const SystemConfig &sys, Iommu &iommu,
 
 MultiTenantResult
 runMultiTenant(const MultiTenantConfig &cfg_in, TraceSink *trace,
-               Telemetry *telemetry)
+               Telemetry *telemetry, SpanTracker *spans)
 {
     GPUMMU_ASSERT(!cfg_in.tenants.empty(),
                   "multi-tenant run with no tenants");
@@ -230,6 +234,12 @@ runMultiTenant(const MultiTenantConfig &cfg_in, TraceSink *trace,
         telemetry->begin(stats);
         iommu.setHeatProfiler(&telemetry->heat(), -1);
     }
+    if (spans != nullptr) {
+        spans->bindClock(&eq);
+        iommu.setSpanTracker(spans, -1);
+        if (trace != nullptr)
+            spans->setTraceSink(trace);
+    }
 
     // Round-robin block-granular time slicing until every tenant has
     // retired its grid. A finishing tenant exits: its remaining
@@ -258,7 +268,7 @@ runMultiTenant(const MultiTenantConfig &cfg_in, TraceSink *trace,
         last = pick;
         slices.inc();
         clock = runSlice(t, sys, iommu, mem, eq, trace, telemetry,
-                         clock, cfg_in.blocksPerSlice);
+                         spans, clock, cfg_in.blocksPerSlice);
         if (t.nextBlock >= t.launch.totalBlocks) {
             t.finished = true;
             clock = pm.destroy(t.proc->asid, clock);

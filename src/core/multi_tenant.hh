@@ -31,6 +31,7 @@
 
 namespace gpummu {
 
+class SpanTracker;
 class Telemetry;
 class TraceSink;
 
@@ -95,13 +96,16 @@ struct MultiTenantResult
 };
 
 /**
- * Run every tenant to completion under time slicing. @p trace and
- * @p telemetry are observation-only and may be null; both attach to
- * the persistent structures and to each slice's transient cores.
+ * Run every tenant to completion under time slicing. @p trace,
+ * @p telemetry and @p spans are observation-only and may be null; all
+ * attach to the persistent structures and to each slice's transient
+ * cores. Span keys carry each tenant's ASID, so the exports break the
+ * lifecycle decomposition down per process.
  */
 MultiTenantResult runMultiTenant(const MultiTenantConfig &cfg,
                                  TraceSink *trace = nullptr,
-                                 Telemetry *telemetry = nullptr);
+                                 Telemetry *telemetry = nullptr,
+                                 SpanTracker *spans = nullptr);
 
 /** The canonical two-tenant configuration (defaultTenantPair() on an
  *  IOMMU machine) at workload scale @p scale. */

@@ -6,6 +6,7 @@
 #include "mem/l1_cache.hh"
 #include "mmu/mmu.hh"
 #include "sim/logging.hh"
+#include "telemetry/span.hh"
 #include "telemetry/telemetry.hh"
 #include "trace/memtrace.hh"
 #include "trace/trace.hh"
@@ -67,6 +68,15 @@ GpuTop::setTraceSink(TraceSink *sink)
     mem_.setTraceSink(sink);
     for (auto &core : cores_)
         core->setTraceSink(sink);
+}
+
+void
+GpuTop::setSpanTracker(SpanTracker *spans)
+{
+    if (spans != nullptr)
+        spans->bindClock(&eq_);
+    for (auto &core : cores_)
+        core->setSpanTracker(spans);
 }
 
 void

@@ -164,6 +164,16 @@ class GpuTop
     void setTelemetry(Telemetry *telemetry);
 
     /**
+     * Arm translation-lifecycle span tracking (observation-only):
+     * binds the tracker to this run's clock and distributes it to
+     * every core's MMU stack and memory stage. Shared structures
+     * outside the cores (L2 TLB, IOMMU) are armed by the experiment
+     * harness that owns them. Call before run(); pass nullptr to
+     * detach.
+     */
+    void setSpanTracker(SpanTracker *spans);
+
+    /**
      * Arm memory-trace capture (observation-only): distributes the
      * writer to every core and writes the trace prologue (meta,
      * regions, program skeleton). Call before run(); pass nullptr to

@@ -5,6 +5,7 @@
 #include "mem/request.hh"
 #include "mmu/l2_tlb.hh"
 #include "sim/logging.hh"
+#include "telemetry/span.hh"
 #include "telemetry/telemetry.hh"
 #include "trace/trace.hh"
 
@@ -341,6 +342,11 @@ MemoryStage::issueIommu(int warp_id, bool is_store,
         mem_defaults.icntLatency + mem_defaults.l2HitLatency;
     pending->remaining = missing_pages.size();
     for (Vpn vpn : missing_pages) {
+        // The span opens as the request departs the core; the gap to
+        // the IOMMU's lookup stage is interconnect + port queueing.
+        if (spans_)
+            spans_->openAt(asidKey(asid_, vpn),
+                           SpanStage::IommuDepart, now, spanTid_);
         iommu_->translate(
             asidKey(asid_, vpn), now + mem_defaults.icntLatency,
             [pending, refetch](std::uint64_t, Cycle done) {

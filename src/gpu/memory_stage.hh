@@ -39,6 +39,7 @@
 namespace gpummu {
 
 class HeatProfiler;
+class SpanTracker;
 class TraceSink;
 
 enum class MemIssueResult
@@ -114,6 +115,19 @@ class MemoryStage
     void setHeatProfiler(HeatProfiler *heat) { heat_ = heat; }
 
     /**
+     * Attach a translation-lifecycle span tracker (observation-only).
+     * Only the IOMMU path uses it here: the span for each missing
+     * page opens when its translate request departs this core for the
+     * memory controller (MMU-path spans open inside the L1 TLB).
+     */
+    void
+    setSpanTracker(SpanTracker *spans, int tid)
+    {
+        spans_ = spans;
+        spanTid_ = tid;
+    }
+
+    /**
      * Dominant stall cause of the most recently issued instruction
      * (valid right after issue() returns Issued). The core snapshots
      * it to attribute the warp's subsequent wait cycles.
@@ -179,6 +193,8 @@ class MemoryStage
     TraceSink *trace_ = nullptr;
     int traceTid_ = 0;
     HeatProfiler *heat_ = nullptr;
+    SpanTracker *spans_ = nullptr;
+    int spanTid_ = 0;
     StallReason lastIssueReason_ = StallReason::None;
     Asid asid_ = 0;
 

@@ -22,6 +22,7 @@ class MemTraceWriter;
 class Mmu;
 class L1Cache;
 class MemoryStage;
+class SpanTracker;
 class TraceSink;
 
 class ShaderCore
@@ -79,6 +80,10 @@ class ShaderCore
     /** Attach a translation heat profiler to this core's walker pool
      *  and memory stage (observation-only, may be null). */
     virtual void setHeatProfiler(HeatProfiler *heat) { (void)heat; }
+
+    /** Attach a translation-lifecycle span tracker to this core's
+     *  MMU stack and memory stage (observation-only, may be null). */
+    virtual void setSpanTracker(SpanTracker *spans) { (void)spans; }
 
     /**
      * Attach a memory-trace capture writer (observation-only, may be

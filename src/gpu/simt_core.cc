@@ -55,6 +55,13 @@ SimtCore::setHeatProfiler(HeatProfiler *heat)
     memStage_.setHeatProfiler(heat);
 }
 
+void
+SimtCore::setSpanTracker(SpanTracker *spans)
+{
+    mmu_.setSpanTracker(spans, coreId_);
+    memStage_.setSpanTracker(spans, coreId_);
+}
+
 unsigned
 SimtCore::warpsPerBlock() const
 {

@@ -102,6 +102,7 @@ class SimtCore : public ShaderCore
 
     void setTraceSink(TraceSink *sink) override;
     void setHeatProfiler(HeatProfiler *heat) override;
+    void setSpanTracker(SpanTracker *spans) override;
 
     bool
     setMemTraceWriter(MemTraceWriter *writer) override

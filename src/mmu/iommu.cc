@@ -1,6 +1,7 @@
 #include "mmu/iommu.hh"
 
 #include "sim/logging.hh"
+#include "telemetry/span.hh"
 #include "vm/process.hh"
 
 namespace gpummu {
@@ -54,6 +55,10 @@ Iommu::issueWalk(Vpn key, Cycle at, Cycle started)
             tlb_.fill(asidKey(keyAsid(key), walked),
                       Translation{frame, path.result.isLarge});
             missLatency_.sample(finish - started);
+            // The owning span and every request merged behind it
+            // fill and retire at the same completion cycle.
+            if (spans_)
+                spans_->closeAllAt(key, SpanStage::Fill, finish);
             auto wit = outstanding_.find(key);
             GPUMMU_ASSERT(wit != outstanding_.end());
             auto waiters = std::move(wit->second);
@@ -71,10 +76,18 @@ Iommu::translate(Vpn key, Cycle now, DoneFn done)
     portFreeAt_ = start + cfg_.lookupInterval;
     const Cycle looked_up = start + cfg_.lookupLatency;
 
+    // Depart -> probe is interconnect + port queueing; requests that
+    // reach translate() directly (tests) open their span here.
+    if (spans_)
+        spans_->openOrStageAt(key, SpanStage::IommuLookup, start,
+                              spanTid_);
+
     auto res = tlb_.lookup(key, /*warp=*/-1);
     if (res.hit) {
         if (checker_)
             checker_->onTlbHit(key, res.ppn, kPageShift4K);
+        if (spans_)
+            spans_->closeNewestAt(key, SpanStage::IommuHit, looked_up);
         done(res.ppn, looked_up);
         return;
     }
@@ -82,6 +95,10 @@ Iommu::translate(Vpn key, Cycle now, DoneFn done)
     auto it = outstanding_.find(key);
     if (it != outstanding_.end()) {
         mergedWalks_.inc();
+        // Beside the merge counter: IommuMerge-stage span count ==
+        // iommu merged_walks (conservation check).
+        if (spans_)
+            spans_->stageAt(key, SpanStage::IommuMerge, start);
         it->second.push_back(std::move(done));
         return;
     }
@@ -98,6 +115,8 @@ Iommu::translate(Vpn key, Cycle now, DoneFn done)
                       "IOMMU access to unreserved VPN ", vpn,
                       " (asid ", asid, ")");
         pm_->noteFault(asid);
+        if (spans_)
+            spans_->stageAt(key, SpanStage::IommuFault, looked_up);
         const Cycle serviced =
             looked_up + pm_->osConfig().faultLatency;
         eq_.schedule(serviced, [this, key, now, serviced, &as]() {

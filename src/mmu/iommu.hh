@@ -107,6 +107,22 @@ class Iommu
         walkers_.setHeatProfiler(heat, tid);
     }
 
+    /**
+     * Attach a translation-lifecycle span tracker (observation-only).
+     * The shared TLB is deliberately *not* armed: each requesting
+     * core's memory stage opens the span when the request departs for
+     * the controller, and this unit stamps the lookup / hit / merge /
+     * fault / fill stages onto it (translate() keys already are span
+     * keys). Walker stages ride the pool's own hooks at key shift 0.
+     */
+    void
+    setSpanTracker(SpanTracker *spans, int tid)
+    {
+        spans_ = spans;
+        spanTid_ = tid;
+        walkers_.setSpanTracker(spans, tid, 0);
+    }
+
     void regStats(StatRegistry &reg, const std::string &prefix);
 
     std::uint64_t lookups() const { return tlb_.accesses(); }
@@ -126,6 +142,8 @@ class Iommu
     std::unique_ptr<InvariantChecker> checker_;
     Tlb tlb_;
     PageWalkers walkers_;
+    SpanTracker *spans_ = nullptr;
+    int spanTid_ = 0;
     Cycle portFreeAt_ = 0;
 
     /** Waiters for in-flight walks, merged per composed key. */

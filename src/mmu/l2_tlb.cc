@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "telemetry/span.hh"
 #include "trace/trace.hh"
 
 namespace gpummu {
@@ -38,6 +39,11 @@ L2Tlb::access(Vpn tag, Cycle now, WakeFn done)
     const Cycle issue = reservePort(now);
     const Cycle ready = issue + cfg_.hitLatency;
 
+    // The miss-to-issue gap is port queueing; the stages below stamp
+    // the disposition on top of it.
+    if (spans_)
+        spans_->stageAt(tag, SpanStage::L2Lookup, issue);
+
     auto res = array_.lookup(tag);
     if (res.hit) {
         hits_.inc();
@@ -46,6 +52,8 @@ L2Tlb::access(Vpn tag, Cycle now, WakeFn done)
         if (trace_)
             trace_->instantAt(TraceCat::L2Tlb, "l2tlb_hit", traceTid_,
                               issue, "vpn", tag);
+        if (spans_)
+            spans_->stageAt(tag, SpanStage::L2Hit, ready);
         HitWake *ev = hitArena_.create();
         ev->tlb = this;
         ev->tag = tag;
@@ -69,6 +77,9 @@ L2Tlb::access(Vpn tag, Cycle now, WakeFn done)
         if (trace_)
             trace_->instantAt(TraceCat::L2Tlb, "mshr_merge", traceTid_,
                               issue, "vpn", tag);
+        // Beside the merge counter: merged-span count == mshr_merges.
+        if (spans_)
+            spans_->stageAt(tag, SpanStage::L2Merge, issue);
         mshr->second.push_back(std::move(done));
         return AccessResult{Outcome::Merged, ready};
     }
@@ -80,6 +91,8 @@ L2Tlb::access(Vpn tag, Cycle now, WakeFn done)
         if (trace_)
             trace_->instantAt(TraceCat::L2Tlb, "mshr_bypass",
                               traceTid_, issue, "vpn", tag);
+        if (spans_)
+            spans_->stageAt(tag, SpanStage::L2Bypass, issue);
         return AccessResult{Outcome::Bypass, ready};
     }
 
@@ -91,6 +104,8 @@ L2Tlb::access(Vpn tag, Cycle now, WakeFn done)
         trace_->counter(TraceCat::L2Tlb, "mshrs_active", traceTid_,
                         mshrs_.size() + 1);
     }
+    if (spans_)
+        spans_->stageAt(tag, SpanStage::L2NeedWalk, issue);
     mshrs_[tag].push_back(std::move(done));
     return AccessResult{Outcome::NeedWalk, ready};
 }

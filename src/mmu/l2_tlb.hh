@@ -46,6 +46,7 @@
 
 namespace gpummu {
 
+class SpanTracker;
 class TraceSink;
 
 struct L2TlbConfig
@@ -171,6 +172,17 @@ class L2Tlb
         traceTid_ = tid;
     }
 
+    /** Attach a translation-lifecycle span tracker (observation-
+     *  only): each access stamps the requesting span with its port-
+     *  arbitrated issue cycle and disposition (hit / merge / bypass /
+     *  walk). */
+    void
+    setSpanTracker(SpanTracker *spans, int tid)
+    {
+        spans_ = spans;
+        spanTid_ = tid;
+    }
+
     /**
      * Kernel-end invariants (no-op unarmed): every MSHR retired,
      * every waiter woken exactly once, every resident entry still
@@ -236,6 +248,8 @@ class L2Tlb
     EvictionListener onEvict_;
     TraceSink *trace_ = nullptr;
     int traceTid_ = 0;
+    SpanTracker *spans_ = nullptr;
+    int spanTid_ = 0;
 
     Counter lookups_;
     Counter hits_;

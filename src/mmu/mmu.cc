@@ -2,6 +2,7 @@
 
 #include "mmu/l2_tlb.hh"
 #include "sim/logging.hh"
+#include "telemetry/span.hh"
 
 namespace gpummu {
 
@@ -155,6 +156,12 @@ Mmu::finishWalk(Vpn tag, std::uint64_t frame_base, bool is_large,
     missLatency_.sample(finish - start_it->second);
     missStart_.erase(start_it);
 
+    // Every span that missed on this page - the walk owner plus each
+    // merged requester - fills and retires at the same ready cycle.
+    if (spans_)
+        spans_->closeAllAt(asidKey(asid_, tag), SpanStage::Fill,
+                           finish);
+
     for (auto &fn : waiters)
         fn(tag, frame_base, finish);
 
@@ -215,6 +222,11 @@ Mmu::requestWalks(const std::vector<Vpn> &vpns, int warp_id, Cycle now,
         if (it != outstanding_.end()) {
             // Another thread/warp already walks this page; piggyback.
             mergedWalks_.inc();
+            // Beside the merge counter: MmuMerge-stage span count ==
+            // merged_walks (conservation check).
+            if (spans_)
+                spans_->stageAt(asidKey(asid_, vpn),
+                                SpanStage::MmuMerge, now);
             it->second.push_back(done);
             continue;
         }

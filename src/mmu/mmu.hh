@@ -43,6 +43,7 @@
 namespace gpummu {
 
 class L2Tlb;
+class SpanTracker;
 
 struct MmuConfig
 {
@@ -244,6 +245,22 @@ class Mmu
         walkers_.setHeatProfiler(heat, tid);
     }
 
+    /**
+     * Attach a translation-lifecycle span tracker (observation-only,
+     * like the trace sink) to the TLB, the walker pool and this MMU's
+     * own merge/fill points; @p tid labels this core's spans. The
+     * walker pool converts its 4K walk VPNs back to this MMU's
+     * translation granularity so every layer stamps the same span key.
+     */
+    void
+    setSpanTracker(SpanTracker *spans, int tid)
+    {
+        tlb_.setSpanTracker(spans, tid);
+        walkers_.setSpanTracker(spans, tid,
+                                pageShift_ - kPageShift4K);
+        spans_ = spans;
+    }
+
     void regStats(StatRegistry &reg, const std::string &prefix);
 
     /** Full TLB-miss service time distribution (Fig. 4). */
@@ -304,6 +321,7 @@ class Mmu
     Tlb tlb_;
     PageWalkers walkers_;
     L2Tlb *l2_ = nullptr;
+    SpanTracker *spans_ = nullptr;
 
     /** VPN -> waiters, for merging concurrent walks to one page. */
     std::map<Vpn, std::vector<WalkDoneFn>> outstanding_;

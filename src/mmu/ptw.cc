@@ -6,6 +6,7 @@
 #include "check/invariant_checker.hh"
 #include "mem/request.hh"
 #include "sim/logging.hh"
+#include "telemetry/span.hh"
 #include "telemetry/telemetry.hh"
 #include "trace/trace.hh"
 
@@ -41,6 +42,8 @@ PageWalkers::walkRef(PhysAddr line_addr, unsigned level, Cycle at)
             if (heat_)
                 heat_->onWalkRef(line_addr, level, heatTid_,
                                  HeatProfiler::RefWhere::Pwc);
+            if (spans_)
+                spans_->walkRef(level, SpanWalkRef::Pwc);
             // The line enters the cache when its fetch is *issued*,
             // so a hit may land while the fill is still in flight
             // from memory; such a hit cannot complete before the
@@ -54,6 +57,11 @@ PageWalkers::walkRef(PhysAddr line_addr, unsigned level, Cycle at)
         heat_->onWalkRef(line_addr, level, heatTid_,
                          out.dram ? HeatProfiler::RefWhere::Dram
                                   : HeatProfiler::RefWhere::L2);
+    // Mirrors the heat classification exactly: span walk-ref totals
+    // == ptw refs_issued (conservation check).
+    if (spans_)
+        spans_->walkRef(level, out.dram ? SpanWalkRef::Dram
+                                        : SpanWalkRef::L2);
     if (cfg_.pwcLines > 0)
         pwc_.insert(line_addr, out.readyAt);
     return out.readyAt;
@@ -77,6 +85,9 @@ PageWalkers::requestBatchFor(const PageTable &pt, Asid asid,
         if (trace_)
             trace_->instantAt(TraceCat::Ptw, "walk_enqueue",
                               traceTid_, now, "vpn", vpn);
+        if (spans_)
+            spans_->stageAt(asidKey(asid, vpn >> spanKeyShift_),
+                            SpanStage::WalkEnqueue, now);
         queue_.push_back(PendingWalk{vpn, now, done, &pt, asid});
     }
     pump(now);
@@ -132,6 +143,12 @@ PageWalkers::startNaive(unsigned w, Cycle now)
         trace_->counter(TraceCat::Ptw, "walks_in_flight", traceTid_,
                         inFlight_);
     }
+    // Enqueue -> grant is the walker-queueing portion of the span.
+    if (spans_) {
+        const PendingWalk &walk = batch->walks.back();
+        spans_->stageAt(asidKey(walk.asid, walk.vpn >> spanKeyShift_),
+                        SpanStage::WalkGrant, now);
+    }
     walkerBusy_[w] = true;
     stepLevel(w, batch, now);
 }
@@ -159,6 +176,12 @@ PageWalkers::startScheduledBatch(unsigned w, Cycle now)
                               now, "vpn", walk.vpn, "walker", w);
         trace_->counter(TraceCat::Ptw, "walks_in_flight", traceTid_,
                         inFlight_);
+    }
+    if (spans_) {
+        for (const PendingWalk &walk : batch->walks)
+            spans_->stageAt(asidKey(walk.asid,
+                                    walk.vpn >> spanKeyShift_),
+                            SpanStage::WalkGrant, now);
     }
 
     unsigned max_levels = 0;
@@ -262,6 +285,10 @@ PageWalkers::stepLevel(unsigned w, ActiveBatch *batch, Cycle now)
             PendingWalk &walk = batch->walks[idx];
             walks_.inc();
             walkLatency_.sample(ready - walk.enqueued);
+            if (spans_)
+                spans_->stageAt(asidKey(walk.asid,
+                                        walk.vpn >> spanKeyShift_),
+                                SpanStage::WalkDone, ready);
             if (heat_)
                 heat_->onWalkComplete(asidKey(walk.asid, walk.vpn),
                                       heatTid_, walk.enqueued, ready);

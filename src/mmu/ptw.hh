@@ -36,6 +36,7 @@ namespace gpummu {
 
 class HeatProfiler;
 class InvariantChecker;
+class SpanTracker;
 class TraceSink;
 
 struct PtwConfig
@@ -132,6 +133,22 @@ class PageWalkers
     {
         heat_ = heat;
         heatTid_ = tid;
+    }
+
+    /**
+     * Attach a translation-lifecycle span tracker (observation-only):
+     * stamps enqueue / grant / completion on each walk's span and
+     * classifies every issued reference by radix level and service
+     * point (walk cache / shared L2 / DRAM). @p key_shift converts
+     * this pool's 4K walk VPNs back to the owner's span-key
+     * granularity (pageShift - 12; 0 for 4K owners like the IOMMU).
+     */
+    void
+    setSpanTracker(SpanTracker *spans, int tid, unsigned key_shift)
+    {
+        spans_ = spans;
+        spanTid_ = tid;
+        spanKeyShift_ = key_shift;
     }
 
     /**
@@ -245,6 +262,9 @@ class PageWalkers
     int traceTid_ = 0;
     HeatProfiler *heat_ = nullptr;
     int heatTid_ = 0;
+    SpanTracker *spans_ = nullptr;
+    int spanTid_ = 0;
+    unsigned spanKeyShift_ = 0;
 
     /** Pools for the event payloads above. Declared before the
      *  per-walker state so pending raw events (whose ctx points into

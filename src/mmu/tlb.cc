@@ -1,6 +1,7 @@
 #include "mmu/tlb.hh"
 
 #include "check/invariant_checker.hh"
+#include "telemetry/span.hh"
 #include "trace/trace.hh"
 
 namespace gpummu {
@@ -15,8 +16,13 @@ Tlb::Tlb(const TlbConfig &cfg)
 Tlb::LookupResult
 Tlb::lookup(Vpn vpn, int warp_id, bool record)
 {
-    if (record)
+    if (record) {
         accesses_.inc();
+        // The span opens beside the access counter so "spans opened
+        // == tlb accesses" holds exactly (conservation check).
+        if (spans_)
+            spans_->openNow(vpn, SpanStage::L1Lookup, spanTid_);
+    }
     auto res = array_.lookup(vpn);
     LookupResult out;
     if (!res.hit) {
@@ -24,6 +30,8 @@ Tlb::lookup(Vpn vpn, int warp_id, bool record)
             trace_->instant(TraceCat::Tlb, "tlb_miss", traceTid_,
                             "vpn", vpn, "warp",
                             static_cast<std::uint64_t>(warp_id));
+        if (spans_ && record)
+            spans_->stageNow(vpn, SpanStage::L1Miss);
         return out;
     }
 
@@ -33,6 +41,8 @@ Tlb::lookup(Vpn vpn, int warp_id, bool record)
         trace_->instant(TraceCat::Tlb, "tlb_hit", traceTid_, "vpn",
                         vpn, "warp",
                         static_cast<std::uint64_t>(warp_id));
+    if (spans_ && record)
+        spans_->closeNewestNow(vpn, SpanStage::L1Hit);
     out.hit = true;
     out.depth = res.depth;
     out.ppn = res.payload->ppn;

@@ -26,6 +26,7 @@
 namespace gpummu {
 
 class InvariantChecker;
+class SpanTracker;
 class TraceSink;
 
 struct TlbConfig
@@ -127,6 +128,19 @@ class Tlb
         traceTid_ = tid;
     }
 
+    /**
+     * Attach a translation-lifecycle span tracker (observation-only,
+     * like the trace sink): every recorded lookup opens a span keyed
+     * by the composed tag; hits close it immediately, misses leave it
+     * open for the walk machinery's hooks downstream.
+     */
+    void
+    setSpanTracker(SpanTracker *spans, int tid)
+    {
+        spans_ = spans;
+        spanTid_ = tid;
+    }
+
     const TlbConfig &config() const { return cfg_; }
 
     void regStats(StatRegistry &reg, const std::string &prefix);
@@ -147,6 +161,8 @@ class Tlb
     unsigned checkShift_ = kPageShift4K;
     TraceSink *trace_ = nullptr;
     int traceTid_ = 0;
+    SpanTracker *spans_ = nullptr;
+    int spanTid_ = 0;
 
     Counter accesses_;
     Counter hits_;

@@ -64,6 +64,13 @@ TbcCore::setHeatProfiler(HeatProfiler *heat)
     memStage_.setHeatProfiler(heat);
 }
 
+void
+TbcCore::setSpanTracker(SpanTracker *spans)
+{
+    mmu_.setSpanTracker(spans, coreId_);
+    memStage_.setSpanTracker(spans, coreId_);
+}
+
 unsigned
 TbcCore::warpsPerBlock() const
 {

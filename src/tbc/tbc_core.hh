@@ -61,6 +61,7 @@ class TbcCore : public ShaderCore
 
     void setTraceSink(TraceSink *sink) override;
     void setHeatProfiler(HeatProfiler *heat) override;
+    void setSpanTracker(SpanTracker *spans) override;
     WarpStallAccounting &stallAccounting() override { return stalls_; }
 
     std::uint64_t instructionsIssued() const override

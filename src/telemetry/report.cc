@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "telemetry/span.hh"
 #include "telemetry/telemetry.hh"
 
 namespace gpummu {
@@ -32,6 +33,85 @@ scriptSafeJson(const Telemetry &t)
     t.writeJson(ss);
     return htmlScriptSafeJson(ss.str());
 }
+
+std::string
+scriptSafeSpanJson(const SpanTracker &spans)
+{
+    std::ostringstream ss;
+    spans.writeJson(ss);
+    return htmlScriptSafeJson(ss.str());
+}
+
+// The "translation latency anatomy" section renders from its own
+// embedded SPANS object so span-armed and span-less reports share the
+// same page shell; the script is self-contained (runs before the main
+// render() is even defined).
+constexpr const char *kSpanSection = R"html(<h2>Translation latency anatomy</h2>
+<div class="meta" id="spanmeta"></div>
+<table><thead><tr><th class="k">stage</th><th class="k">class</th>
+<th>count</th><th>cycles</th><th>mean</th><th>p50</th><th>p95</th>
+<th>p99</th></tr></thead><tbody id="spanstages"></tbody></table>
+<div id="perasidbox" style="display:none">
+<h2>Per-ASID end-to-end latency</h2>
+<table><thead><tr><th>asid</th><th>count</th><th>cycles</th>
+<th>mean</th><th>p50</th><th>p95</th><th>p99</th><th>max</th>
+</tr></thead><tbody id="spanasids"></tbody></table></div>
+<h2>Slowest spans</h2>
+<table><thead><tr><th>rank</th><th class="k">asid:vpn</th>
+<th>tid</th><th>open</th><th>latency</th><th>queueing</th>
+<th>service</th><th class="k">timeline</th></tr></thead>
+<tbody id="spantop"></tbody></table>
+)html";
+
+constexpr const char *kSpanScript = R"html(<script>
+"use strict";
+(function(){
+  var s=SPANS,f=function(n){return Number(n).toLocaleString("en-US");};
+  document.getElementById("spanmeta").textContent=
+    f(s.meta.spans_opened)+" spans opened, "+
+    f(s.meta.spans_closed)+" closed, "+
+    f(s.meta.spans_open_at_end)+" open at end; "+
+    f(s.meta.walk_refs.total)+" walk refs ("+
+    f(s.meta.walk_refs.pwc)+" pwc / "+f(s.meta.walk_refs.l2)+
+    " l2 / "+f(s.meta.walk_refs.dram)+" dram)";
+  var tb=document.getElementById("spanstages");
+  s.stages.forEach(function(r){
+    var tr=document.createElement("tr");
+    function td(v,k){var c=document.createElement("td");
+      if(k)c.className="k";c.textContent=v;tr.appendChild(c);}
+    td(r.stage,1);td(r["class"],1);td(f(r.stats.count));
+    td(f(r.stats.cycles));td(r.stats.mean.toFixed(1));
+    td(f(r.stats.p50));td(f(r.stats.p95));td(f(r.stats.p99));
+    tb.appendChild(tr);
+  });
+  if(s.per_asid.length>1){
+    document.getElementById("perasidbox").style.display="";
+    var ab=document.getElementById("spanasids");
+    s.per_asid.forEach(function(r){
+      var tr=document.createElement("tr");
+      [r.asid,f(r.stats.count),f(r.stats.cycles),
+       r.stats.mean.toFixed(1),f(r.stats.p50),f(r.stats.p95),
+       f(r.stats.p99),f(r.stats.max)].forEach(function(v){
+        var c=document.createElement("td");c.textContent=v;
+        tr.appendChild(c);});
+      ab.appendChild(tr);
+    });
+  }
+  var tp=document.getElementById("spantop");
+  s.top_spans.forEach(function(sp,i){
+    var tr=document.createElement("tr");
+    function td(v,k){var c=document.createElement("td");
+      if(k)c.className="k";c.textContent=v;tr.appendChild(c);}
+    td(i+1);td(sp.asid+":0x"+sp.vpn.toString(16),1);td(sp.tid);
+    td(f(sp.open));td(f(sp.latency));td(f(sp.queueing));
+    td(f(sp.service));
+    td(sp.timeline.map(function(ev){
+      return ev.stage+"@+"+(ev.cycle-sp.open);}).join(" → "),1);
+    tp.appendChild(tr);
+  });
+})();
+</script>
+)html";
 
 // The page shell. Everything that varies is in the embedded DATA
 // object; the script below renders from it, so the C++ side stays a
@@ -145,7 +225,7 @@ function render(){
   d.heat.top_pages.forEach(function(p){
     var tr=el("tr",{},hp);
     el("td",{"class":"k"},tr).textContent=
-      "0x"+p.vpn.toString(16);
+      p.asid+":0x"+p.vpn.toString(16);
     el("td",{},tr).textContent=fmt(p.walks);
     el("td",{},tr).textContent=fmt(p.walk_cycles);
     el("td",{},tr).textContent=
@@ -184,9 +264,11 @@ htmlReportHead()
 }
 
 bool
-writeHtmlReport(std::ostream &os, const Telemetry &t)
+writeHtmlReport(std::ostream &os, const Telemetry &t,
+                const SpanTracker *spans)
 {
     const bool hasHeat = !t.heat().pages().empty();
+    const bool hasSpans = spans != nullptr && !spans->empty();
     os << kHead;
     os << "<h1>gpummu run report</h1>\n<div class=\"meta\" "
           "id=\"meta\"></div>\n";
@@ -205,7 +287,7 @@ writeHtmlReport(std::ostream &os, const Telemetry &t)
           "<tbody id=\"stalls\"></tbody></table>\n"
           "<h2>Hot pages</h2>\n<div class=\"meta\" "
           "id=\"heatsum\"></div>\n"
-          "<table><thead><tr><th class=\"k\">vpn</th><th>walks</th>"
+          "<table><thead><tr><th class=\"k\">asid:vpn</th><th>walks</th>"
           "<th>walk cycles</th><th>mean lat</th><th>max lat</th>"
           "<th>sharers</th></tr></thead>"
           "<tbody id=\"hotpages\"></tbody></table>\n"
@@ -214,6 +296,12 @@ writeHtmlReport(std::ostream &os, const Telemetry &t)
           "<th>refs</th><th>pwc hits</th><th>l2 refs</th>"
           "<th>dram refs</th><th>sharers</th></tr></thead>"
           "<tbody id=\"hotlines\"></tbody></table>\n";
+    if (hasSpans) {
+        os << kSpanSection;
+        os << "<script>const SPANS=" << scriptSafeSpanJson(*spans)
+           << ";</script>\n";
+        os << kSpanScript;
+    }
     os << "<script>const DATA=" << scriptSafeJson(t)
        << ";</script>\n";
     os << kScript;
@@ -221,12 +309,13 @@ writeHtmlReport(std::ostream &os, const Telemetry &t)
 }
 
 bool
-writeHtmlReportFile(const std::string &path, const Telemetry &t)
+writeHtmlReportFile(const std::string &path, const Telemetry &t,
+                    const SpanTracker *spans)
 {
     std::ofstream f(path, std::ios::binary | std::ios::trunc);
     if (!f)
         return false;
-    const bool ok = writeHtmlReport(f, t);
+    const bool ok = writeHtmlReport(f, t, spans);
     return f.good() && ok;
 }
 

@@ -21,6 +21,7 @@
 
 namespace gpummu {
 
+class SpanTracker;
 class Telemetry;
 
 /**
@@ -29,9 +30,16 @@ class Telemetry;
  * profiler was never hooked up - CI treats that as a failure) or, for
  * the file variant, on I/O failure; the page is still written either
  * way so the failure can be inspected.
+ *
+ * @p spans, when non-null and non-empty, adds a "translation latency
+ * anatomy" section: per-stage latency decomposition with queueing vs
+ * service split, per-ASID end-to-end columns, and the slowest spans
+ * with their full stage timelines.
  */
-bool writeHtmlReport(std::ostream &os, const Telemetry &t);
-bool writeHtmlReportFile(const std::string &path, const Telemetry &t);
+bool writeHtmlReport(std::ostream &os, const Telemetry &t,
+                     const SpanTracker *spans = nullptr);
+bool writeHtmlReportFile(const std::string &path, const Telemetry &t,
+                         const SpanTracker *spans = nullptr);
 
 /**
  * The shared single-file page shell (doctype, inline CSS, <body>

@@ -296,7 +296,10 @@ Telemetry::writeJson(std::ostream &os) const
        << ",\"top_pages\":[";
     first = true;
     for (const auto &[vpn, p] : heat_.topPages(cfg_.topK)) {
-        os << (first ? "" : ",") << "{\"vpn\":" << vpn
+        // Page keys are ASID-composed; export the halves separately
+        // so consumers never have to know the composition shift.
+        os << (first ? "" : ",") << "{\"asid\":" << keyAsid(vpn)
+           << ",\"vpn\":" << keyLocal(vpn)
            << ",\"walks\":" << p.walks
            << ",\"walk_cycles\":" << p.walkCycles
            << ",\"max_latency\":" << p.maxLatency

@@ -62,7 +62,6 @@ TraceSink::TraceSink(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity),
       catMask_((1u << kNumTraceCats) - 1)
 {
-    ring_.reserve(std::min<std::size_t>(capacity_, 4096));
 }
 
 void
@@ -93,13 +92,15 @@ TraceSink::push(const Event &ev)
     if (!wants(ev.cat))
         return;
     catEvents_[static_cast<std::size_t>(ev.cat)].inc();
-    if (ring_.size() < capacity_) {
-        ring_.push_back(ev);
+    if (size_ < capacity_) {
+        if (size_ == slabs_.size() * kSlabSize)
+            slabs_.push_back(std::make_unique<Event[]>(kSlabSize));
+        slot(size_++) = ev;
         return;
     }
     // Full: overwrite the oldest event (the ring keeps the tail of
     // the run, which is usually what a stall investigation wants).
-    ring_[next_] = ev;
+    slot(next_) = ev;
     next_ = (next_ + 1) % capacity_;
     wrapped_ = true;
     dropped_.inc();
@@ -175,10 +176,24 @@ TraceSink::counter(TraceCat cat, const char *name, int tid,
     push(ev);
 }
 
+void
+TraceSink::flow(char phase, TraceCat cat, const char *name, int tid,
+                Cycle ts, std::uint64_t id)
+{
+    Event ev;
+    ev.ts = ts;
+    ev.cat = cat;
+    ev.name = name;
+    ev.tid = tid;
+    ev.value = id;
+    ev.phase = phase;
+    push(ev);
+}
+
 std::size_t
 TraceSink::size() const
 {
-    return ring_.size();
+    return size_;
 }
 
 void
@@ -209,6 +224,13 @@ TraceSink::writeChromeTrace(std::ostream &os) const
             os << ",\"dur\":" << ev.dur;
         if (ev.phase == 'i')
             os << ",\"s\":\"t\"";
+        if (ev.phase == 's' || ev.phase == 't' || ev.phase == 'f') {
+            os << ",\"id\":" << ev.value;
+            // Binding point "enclosing" makes the arrow terminate at
+            // the event under the cursor instead of the next slice.
+            if (ev.phase == 'f')
+                os << ",\"bp\":\"e\"";
+        }
         if (ev.phase == 'C') {
             os << ",\"args\":{\"value\":" << ev.value << "}";
         } else if (ev.key0 != nullptr) {
@@ -223,13 +245,13 @@ TraceSink::writeChromeTrace(std::ostream &os) const
     };
     // Chronological order: the oldest surviving event first.
     if (wrapped_) {
-        for (std::size_t i = next_; i < ring_.size(); ++i)
-            emit(ring_[i]);
+        for (std::size_t i = next_; i < size_; ++i)
+            emit(slot(i));
         for (std::size_t i = 0; i < next_; ++i)
-            emit(ring_[i]);
+            emit(slot(i));
     } else {
-        for (const Event &ev : ring_)
-            emit(ev);
+        for (std::size_t i = 0; i < size_; ++i)
+            emit(slot(i));
     }
     os << "],\"displayTimeUnit\":\"ns\",\"otherData\":{"
        << "\"dropped_events\":" << dropped_.value() << "}}";

@@ -25,6 +25,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -82,7 +83,10 @@ class TraceSink
         std::uint64_t arg1 = 0;
         std::int32_t tid = 0;
         TraceCat cat = TraceCat::Core;
-        char phase = 'i'; ///< 'i' instant, 'X' span, 'C' counter
+        /** 'i' instant, 'X' span, 'C' counter; flow arrows use
+         *  's' start, 't' step, 'f' end (value carries the flow
+         *  id binding the three together). */
+        char phase = 'i';
     };
 
     explicit TraceSink(std::size_t capacity = 1u << 20);
@@ -125,6 +129,16 @@ class TraceSink
     void counter(TraceCat cat, const char *name, int tid,
                  std::uint64_t value);
 
+    /**
+     * A flow event: @p phase is 's' (start), 't' (step) or 'f'
+     * (end); events sharing (@p cat, @p name, @p id) render as one
+     * arrow chain in chrome://tracing. The SpanTracker emits one
+     * flow per translation span so its lifecycle draws across the
+     * component tracks.
+     */
+    void flow(char phase, TraceCat cat, const char *name, int tid,
+              Cycle ts, std::uint64_t id);
+
     /** Events currently resident in the ring. */
     std::size_t size() const;
     /** Events overwritten because the ring was full. */
@@ -158,11 +172,34 @@ class TraceSink
     bool writeChromeTraceFile(const std::string &path) const;
 
   private:
+    /**
+     * Slab-pooled ring storage (the sim/arena.hh idea applied to
+     * trace events): events live in fixed-size slabs that never move
+     * once allocated, so growing to a million-event ring costs one
+     * slab allocation every 4096 events instead of geometric
+     * reallocation + copy of everything recorded so far.
+     */
+    static constexpr std::size_t kSlabShift = 12;
+    static constexpr std::size_t kSlabSize = std::size_t(1)
+                                             << kSlabShift;
+
     void push(const Event &ev);
     Cycle nowFromClock() const;
 
+    Event &
+    slot(std::size_t i)
+    {
+        return slabs_[i >> kSlabShift][i & (kSlabSize - 1)];
+    }
+    const Event &
+    slot(std::size_t i) const
+    {
+        return slabs_[i >> kSlabShift][i & (kSlabSize - 1)];
+    }
+
     std::size_t capacity_;
-    std::vector<Event> ring_;
+    std::vector<std::unique_ptr<Event[]>> slabs_;
+    std::size_t size_ = 0; ///< events resident in the ring
     std::size_t next_ = 0; ///< ring write cursor once wrapped
     bool wrapped_ = false;
     Counter dropped_;
